@@ -1,0 +1,332 @@
+(** The [defacto] command-line driver: design space exploration for
+    FPGA-bound loop nests, following So, Hall & Diniz (PLDI 2002).
+
+    {v
+    defacto explore   -k fir                 run the Figure-2 search
+    defacto estimate  -k mm -u i=2,j=2       synthesize one design point
+    defacto transform -k jac -u j=2          print the transformed code
+    defacto space     -k pat                 exhaustive design-space sweep
+    defacto vhdl      -k fir -u j=2,i=2      emit behavioral VHDL
+    defacto kernels                          list built-in kernels
+    v}
+
+    Kernels come from the built-in suite ([-k]) or from a C-subset source
+    file ([-f]). *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let kernel_arg =
+  let doc = "Built-in kernel name (fir, mm, pat, jac, sobel)." in
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc = "Parse the kernel from a C-subset source $(docv)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let pipelined_arg =
+  let doc = "Model non-pipelined memory accesses (7-cycle reads, 3-cycle writes)." in
+  Arg.(value & flag & info [ "non-pipelined" ] ~doc)
+
+let memories_arg =
+  let doc = "Number of external memories." in
+  Arg.(value & opt int 4 & info [ "memories" ] ~docv:"N" ~doc)
+
+let capacity_arg =
+  let doc = "Device capacity in slices." in
+  Arg.(value & opt int 12288 & info [ "capacity" ] ~docv:"SLICES" ~doc)
+
+let unroll_arg =
+  let doc = "Unroll factor vector, e.g. $(b,j=2,i=4)." in
+  Arg.(value & opt string "" & info [ "u"; "unroll" ] ~docv:"VEC" ~doc)
+
+let output_arg =
+  let doc = "Write output to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let load_kernel kernel file : (Ir.Ast.kernel, string) result =
+  match (kernel, file) with
+  | Some name, _ -> (
+      match Kernels.find name with
+      | Some k -> Ok k
+      | None -> (
+          match Gallery.find name with
+          | Some k -> Ok k
+          | None ->
+              Error
+                (Printf.sprintf "unknown kernel %s (have: %s)" name
+                   (String.concat ", " (Kernels.names @ Gallery.names)))))
+  | None, Some path -> (
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let name = Filename.remove_extension (Filename.basename path) in
+      match Frontend.Parser.kernel_of_string_res ~name src with
+      | Ok k -> Ok k
+      | Error msg -> Error (path ^ ": " ^ msg))
+  | None, None -> Error "specify a kernel with -k or a source file with -f"
+
+let parse_vector (s : string) : (string * int) list =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.split_on_char '=' (String.trim part) with
+           | [ i; u ] -> (
+               match int_of_string_opt (String.trim u) with
+               | Some n when n >= 1 -> (String.trim i, n)
+               | _ ->
+                   prerr_endline
+                     (Printf.sprintf
+                        "defacto: bad unroll factor %S (expected \
+                         loop=positive-integer)"
+                        part);
+                   exit 1)
+           | _ ->
+               prerr_endline
+                 (Printf.sprintf
+                    "defacto: bad unroll component %S (expected loop=factor)"
+                    part);
+               exit 1)
+
+let make_profile ~non_pipelined ~memories =
+  let device = { Hls.Device.default with Hls.Device.num_memories = memories } in
+  {
+    Hls.Estimate.device;
+    mem = Hls.Memory_model.of_flag ~pipelined:(not non_pipelined);
+    chaining = false;
+  }
+
+let with_output output f =
+  match output with
+  | None -> f Format.std_formatter
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          let fmt = Format.formatter_of_out_channel oc in
+          f fmt;
+          Format.pp_print_flush fmt ())
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("defacto: " ^ msg);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* explore *)
+
+let report_arg =
+  let doc = "Write a full markdown exploration report to $(docv) ('-' for stdout)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let explore kernel file non_pipelined memories capacity report =
+  let k = or_die (load_kernel kernel file) in
+  let profile = make_profile ~non_pipelined ~memories in
+  let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
+  (match report with
+  | Some dest ->
+      let r = Dse.Report.build ctx in
+      let text = Dse.Report.to_string r in
+      if dest = "-" then print_string text
+      else begin
+        (try Out_channel.with_open_text dest (fun oc -> output_string oc text)
+         with Sys_error msg ->
+           prerr_endline ("defacto: " ^ msg);
+           exit 1);
+        Format.printf "report written to %s@." dest
+      end;
+      exit 0
+  | None -> ());
+  let r = Dse.Search.run ctx in
+  Format.printf "kernel %s (%s memory, %d memories, capacity %d slices)@."
+    k.Ir.Ast.k_name
+    (Hls.Memory_model.name profile.Hls.Estimate.mem)
+    memories capacity;
+  Format.printf "saturation: R=%d W=%d Psat=%d eligible=[%s]@." r.sat.Dse.Saturation.r
+    r.sat.Dse.Saturation.w r.sat.Dse.Saturation.psat
+    (String.concat ", " r.sat.Dse.Saturation.eligible);
+  Format.printf "Uinit = %a@." Dse.Design.pp_vector r.uinit;
+  List.iter
+    (fun (s : Dse.Search.step) ->
+      Format.printf "  %a  [%s]@." Dse.Design.pp_point s.point s.verdict)
+    r.steps;
+  Format.printf "selected: %a@." Dse.Design.pp_point r.selected;
+  let base = Dse.Design.evaluate ctx (Dse.Design.ubase ctx) in
+  Format.printf "baseline: %a@." Dse.Design.pp_point base;
+  Format.printf "speedup over baseline: %.2fx@."
+    (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected))
+
+let explore_cmd =
+  let doc = "Run the balance-guided design space exploration (Figure 2)." in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const explore $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
+      $ capacity_arg $ report_arg)
+
+(* ------------------------------------------------------------------ *)
+(* estimate *)
+
+let estimate kernel file non_pipelined memories unroll =
+  let k = or_die (load_kernel kernel file) in
+  let profile = make_profile ~non_pipelined ~memories in
+  let ctx = Dse.Design.context ~profile k in
+  let p = Dse.Design.evaluate ctx (parse_vector unroll) in
+  Format.printf "%a@." Dse.Design.pp_vector p.Dse.Design.vector;
+  Format.printf "%a@." Hls.Estimate.pp p.Dse.Design.estimate;
+  Format.printf "time at 40ns clock: %.1f us@."
+    (p.Dse.Design.estimate.Hls.Estimate.time_ns /. 1000.0);
+  let impl = Hls.Lowlevel.place_and_route p.Dse.Design.estimate in
+  Format.printf
+    "after P&R model: %d slices, achieved clock %.1f ns (%s)@."
+    impl.Hls.Lowlevel.actual_slices impl.Hls.Lowlevel.achieved_clock_ns
+    (if impl.Hls.Lowlevel.meets_timing then "meets 40 ns" else "degraded")
+
+let estimate_cmd =
+  let doc = "Estimate area and cycles of one design point." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(const estimate $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg $ unroll_arg)
+
+(* ------------------------------------------------------------------ *)
+(* transform *)
+
+let transform kernel file unroll =
+  let k = or_die (load_kernel kernel file) in
+  let opts = { Transform.Pipeline.default with vector = parse_vector unroll } in
+  let r = Transform.Pipeline.apply opts k in
+  print_endline (Ir.Pretty.kernel_to_string r.Transform.Pipeline.kernel)
+
+let transform_cmd =
+  let doc = "Print the code after unroll-and-jam, scalar replacement and peeling." in
+  Cmd.v (Cmd.info "transform" ~doc)
+    Term.(const transform $ kernel_arg $ file_arg $ unroll_arg)
+
+(* ------------------------------------------------------------------ *)
+(* space *)
+
+let max_product_arg =
+  let doc = "Skip sweep points whose unroll product exceeds $(docv)." in
+  Arg.(value & opt int 1024 & info [ "max-product" ] ~docv:"P" ~doc)
+
+let space kernel file non_pipelined memories capacity max_product =
+  let k = or_die (load_kernel kernel file) in
+  let profile = make_profile ~non_pipelined ~memories in
+  let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
+  let sp = Dse.Space.sweep ~max_product ctx in
+  Format.printf "# %-24s %10s %10s %10s %8s@." "vector" "cycles" "slices"
+    "balance" "fits";
+  List.iter
+    (fun (sp : Dse.Space.sweep_point) ->
+      Format.printf "%-26s %10d %10d %10.3f %8s@."
+        (Format.asprintf "%a" Dse.Design.pp_vector sp.Dse.Space.vector)
+        (Dse.Design.cycles sp.Dse.Space.point)
+        (Dse.Design.space sp.Dse.Space.point)
+        (Dse.Design.balance sp.Dse.Space.point)
+        (if Dse.Design.space sp.Dse.Space.point <= capacity then "yes" else "no"))
+    sp.Dse.Space.points;
+  match Dse.Space.best_fitting ctx sp with
+  | Some best ->
+      Format.printf "# best fitting: %a@." Dse.Design.pp_point best.Dse.Space.point
+  | None -> Format.printf "# no fitting design@."
+
+let space_cmd =
+  let doc = "Exhaustively sweep the (divisor) design space and report every point." in
+  Cmd.v (Cmd.info "space" ~doc)
+    Term.(
+      const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
+      $ capacity_arg $ max_product_arg)
+
+(* ------------------------------------------------------------------ *)
+(* vhdl *)
+
+let vhdl kernel file unroll memories output =
+  let k = or_die (load_kernel kernel file) in
+  let opts = { Transform.Pipeline.default with vector = parse_vector unroll } in
+  let r = Transform.Pipeline.apply opts k in
+  let text = Vhdl.Emit.emit_with_layout ~num_memories:memories r.Transform.Pipeline.kernel in
+  with_output output (fun fmt -> Format.fprintf fmt "%s" text)
+
+let vhdl_cmd =
+  let doc = "Emit behavioral VHDL for a design point (after data layout)." in
+  Cmd.v (Cmd.info "vhdl" ~doc)
+    Term.(const vhdl $ kernel_arg $ file_arg $ unroll_arg $ memories_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let simulate kernel file non_pipelined memories unroll =
+  let k = or_die (load_kernel kernel file) in
+  let profile = make_profile ~non_pipelined ~memories in
+  let ctx = Dse.Design.context ~profile k in
+  let p = Dse.Design.evaluate ctx (parse_vector unroll) in
+  let inputs = Kernels.test_inputs k in
+  let sim = Hls.Sim.run ~inputs profile p.Dse.Design.kernel in
+  let reference = Ir.Eval.observables (Ir.Eval.run ~inputs k) in
+  let ok =
+    List.for_all
+      (fun (arr, data) -> List.assoc_opt arr sim.Hls.Sim.arrays = Some data)
+      reference
+  in
+  Format.printf "design %a@." Dse.Design.pp_vector p.Dse.Design.vector;
+  Format.printf
+    "simulated %d cycles (estimator: %d); %d loads, %d stores issued (%d \
+     suppressed by predication)@."
+    sim.Hls.Sim.cycles p.Dse.Design.estimate.Hls.Estimate.cycles
+    sim.Hls.Sim.dynamic_loads sim.Hls.Sim.dynamic_stores
+    sim.Hls.Sim.stores_suppressed;
+  Format.printf "datapath vs reference interpreter: %s@."
+    (if ok then "IDENTICAL" else "MISMATCH");
+  if not ok then exit 1
+
+let simulate_cmd =
+  let doc =
+    "Execute the scheduled datapath cycle-faithfully and compare against the \
+     reference interpreter."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
+      $ unroll_arg)
+
+(* ------------------------------------------------------------------ *)
+(* kernels *)
+
+let kernels () =
+  let show source name =
+    let k =
+      match Kernels.find name with
+      | Some k -> k
+      | None -> Option.get (Gallery.find name)
+    in
+    let spine = Ir.Loop_nest.spine k.Ir.Ast.k_body in
+    Printf.printf "%-12s %-8s loops: %s\n" name source
+      (String.concat ", "
+         (List.map
+            (fun (l : Ir.Ast.loop) ->
+              Printf.sprintf "%s[%d..%d)" l.Ir.Ast.index l.Ir.Ast.lo
+                l.Ir.Ast.hi)
+            spine))
+  in
+  List.iter (show "paper") Kernels.names;
+  List.iter (show "gallery") Gallery.names
+
+let kernels_cmd =
+  let doc = "List the built-in kernels (the paper's five benchmarks)." in
+  Cmd.v (Cmd.info "kernels" ~doc) Term.(const kernels $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "compiler-directed design space exploration for FPGA-based systems" in
+  Cmd.group
+    (Cmd.info "defacto" ~version:"1.0.0" ~doc)
+    [
+      explore_cmd;
+      estimate_cmd;
+      transform_cmd;
+      space_cmd;
+      vhdl_cmd;
+      simulate_cmd;
+      kernels_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

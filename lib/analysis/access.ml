@@ -1,0 +1,138 @@
+(** Collection and affine classification of array accesses.
+
+    Every analysis and the memory side of the estimator work on the list
+    of array accesses of a (possibly transformed) loop body, each
+    annotated with its affine subscript functions over the enclosing loop
+    indices and with the loop context it appears in. *)
+
+open Ir
+
+type kind = Read | Write [@@deriving show { with_path = false }, eq, ord]
+
+type t = {
+  id : int;  (** unique within one [collect] result *)
+  array : string;
+  kind : kind;
+  subs : Ast.expr list;  (** raw subscript expressions *)
+  affine : Affine.t option list;  (** affine form per dimension, if any *)
+  loops : Ast.loop list;  (** enclosing loops, outermost first *)
+  guarded : bool;  (** syntactically under an [if] *)
+}
+
+let indices a = List.map (fun (l : Ast.loop) -> l.index) a.loops
+let depth a = List.length a.loops
+let is_read a = a.kind = Read
+let is_write a = a.kind = Write
+
+(** All subscripts affine? *)
+let is_affine a = List.for_all Option.is_some a.affine
+
+let affine_exn a =
+  List.map
+    (function
+      | Some f -> f
+      | None -> invalid_arg "Access.affine_exn: non-affine subscript")
+    a.affine
+
+(** Collect accesses in execution order. Reads nested inside subscripts of
+    other accesses are collected as their own accesses. *)
+let collect (body : Ast.stmt list) : t list =
+  let acc = ref [] in
+  let next_id = ref 0 in
+  let push ~loops ~guarded array kind subs =
+    let affine = List.map Affine.of_expr subs in
+    incr next_id;
+    acc :=
+      {
+        id = !next_id - 1;
+        array;
+        kind;
+        subs;
+        affine;
+        loops = List.rev loops;
+        guarded;
+      }
+      :: !acc
+  in
+  let rec expr ~loops ~guarded (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Arr (a, subs) ->
+        List.iter (expr ~loops ~guarded) subs;
+        push ~loops ~guarded a Read subs
+    | Ast.Bin (_, a, b) ->
+        expr ~loops ~guarded a;
+        expr ~loops ~guarded b
+    | Ast.Un (_, a) -> expr ~loops ~guarded a
+    | Ast.Cond (c, t, e') ->
+        expr ~loops ~guarded c;
+        expr ~loops ~guarded:true t;
+        expr ~loops ~guarded:true e'
+  in
+  let rec stmt ~loops ~guarded (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (lv, e) -> (
+        expr ~loops ~guarded e;
+        match lv with
+        | Ast.Lvar _ -> ()
+        | Ast.Larr (a, subs) ->
+            List.iter (expr ~loops ~guarded) subs;
+            push ~loops ~guarded a Write subs)
+    | Ast.If (c, t, e) ->
+        expr ~loops ~guarded c;
+        List.iter (stmt ~loops ~guarded:true) t;
+        List.iter (stmt ~loops ~guarded:true) e
+    | Ast.For l -> List.iter (stmt ~loops:(l :: loops) ~guarded) l.body
+    | Ast.Rotate _ -> ()
+  in
+  List.iter (stmt ~loops:[] ~guarded:false) body;
+  List.rev !acc
+
+let reads accesses = List.filter is_read accesses
+let writes accesses = List.filter is_write accesses
+let to_array_map accesses =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let cur = try Hashtbl.find tbl a.array with Not_found -> [] in
+      Hashtbl.replace tbl a.array (a :: cur))
+    accesses;
+  Hashtbl.fold (fun k v l -> (k, List.rev v) :: l) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Subscripts linearized into a single affine form using the array's
+    row-major layout, e.g. [A[i][j]] with dims [[n; m]] becomes [m*i + j].
+    [None] if any subscript is non-affine. *)
+let linearized (decl : Ast.array_decl) (a : t) : Affine.t option =
+  let rec go dims affs acc =
+    match (dims, affs) with
+    | [], [] -> Some acc
+    | _ :: rest_dims, Some f :: rest ->
+        let stride = List.fold_left ( * ) 1 rest_dims in
+        go rest_dims rest (Affine.add acc (Affine.scale stride f))
+    | _, None :: _ -> None
+    | _ -> None
+  in
+  if List.length decl.a_dims <> List.length a.affine then None
+  else go decl.a_dims a.affine Affine.zero
+
+(** Does the access vary with loop index [v]? Exact for affine accesses,
+    conservative (true) for non-affine ones that mention [v]. *)
+let varies_with (a : t) v =
+  List.exists2
+    (fun sub aff ->
+      match aff with
+      | Some f -> Affine.coeff f v <> 0
+      | None -> Loop_nest.expr_uses_var v sub)
+    a.subs a.affine
+
+(** Loop indices (from the access's own context) the access varies with. *)
+let varying_indices a = List.filter (varies_with a) (indices a)
+
+let pp fmt a =
+  Format.fprintf fmt "%s %s%a"
+    (match a.kind with Read -> "read" | Write -> "write")
+    a.array
+    (fun fmt subs ->
+      List.iter (fun s -> Format.fprintf fmt "[%a]" Pretty.pp_expr s) subs)
+    a.subs

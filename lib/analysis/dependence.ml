@@ -1,0 +1,455 @@
+(** Data-dependence analysis on array accesses.
+
+    The design space exploration algorithm consumes three facts computed
+    here (Section 5.3 of the paper):
+
+    - whether a loop carries no dependence (such loops are unrolled first,
+      to the saturation point, because all unrolled iterations run in
+      parallel);
+    - minimum nonzero carried dependence distances (loops with larger
+      distances are favoured otherwise);
+    - per-pair *consistent* distance vectors (constant distances), the
+      precondition for scalar replacement.
+
+    For uniformly generated pairs the distance system is linear with the
+    subscript coefficient matrix; we solve it exactly (rational Gaussian
+    elimination + integrality check). Loops the subscripts do not mention
+    get the wildcard distance [Any]. An underdetermined system means the
+    pair has dependences but no consistent distance — reported as
+    [Coupled] entries. For non-uniformly generated pairs we fall back to
+    the GCD and Banerjee tests on the linearized subscripts to prove
+    independence where possible. *)
+
+open Ir
+
+type entry =
+  | Exact of int  (** constant distance along this loop *)
+  | Any  (** subscripts do not constrain this loop: all distances occur *)
+  | Coupled  (** constrained jointly with other loops; not consistent *)
+[@@deriving show { with_path = false }, eq]
+
+type result =
+  | Independent
+  | Distance of entry list  (** per common loop, outermost first *)
+  | Unknown  (** could not prove independence; no distance information *)
+[@@deriving show { with_path = false }, eq]
+
+type kind = Flow | Anti | Output | Input
+[@@deriving show { with_path = false }, eq, ord]
+
+type dep = {
+  src : Access.t;
+  dst : Access.t;
+  kind : kind;
+  loops : Ast.loop list;  (** common enclosing loops, outermost first *)
+  distance : entry list;  (** aligned with [loops] *)
+}
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* ------------------------------------------------------------------ *)
+(* Common nest *)
+
+let common_loops (a : Access.t) (b : Access.t) : Ast.loop list =
+  let rec go la lb =
+    match (la, lb) with
+    | (x : Ast.loop) :: ta, (y : Ast.loop) :: tb when x.index = y.index ->
+        x :: go ta tb
+    | _ -> []
+  in
+  go a.loops b.loops
+
+(* ------------------------------------------------------------------ *)
+(* Distance system for uniformly generated pairs *)
+
+(** Solve [A t = rhs] where row d constrains the per-dimension subscript
+    difference. Variables are the common loop *iteration counts* — we
+    normalise by each loop's step so that a distance of 1 means "next
+    iteration of that loop", matching the unit in which unroll factors and
+    register chains are expressed. *)
+let solve_distance ~(loops : Ast.loop list) ~(rows : (int list * int) list) :
+    [ `NoSolution | `Solved of entry list ] =
+  let n = List.length loops in
+  let matrix =
+    List.map (fun (coeffs, rhs) -> (Array.of_list (List.map Rat.of_int coeffs), Rat.of_int rhs)) rows
+    |> Array.of_list
+  in
+  let rows_n = Array.length matrix in
+  (* Gauss-Jordan with partial pivoting by nonzero. *)
+  let pivot_col = Array.make rows_n (-1) in
+  let r = ref 0 in
+  for c = 0 to n - 1 do
+    if !r < rows_n then begin
+      (* find pivot row *)
+      let p = ref (-1) in
+      for i = !r to rows_n - 1 do
+        if !p = -1 && not (Rat.is_zero (fst matrix.(i)).(c)) then p := i
+      done;
+      if !p >= 0 then begin
+        (* swap *)
+        let tmp = matrix.(!r) in
+        matrix.(!r) <- matrix.(!p);
+        matrix.(!p) <- tmp;
+        let row, rhs = matrix.(!r) in
+        let inv = Rat.div Rat.one row.(c) in
+        let row = Array.map (fun x -> Rat.mul x inv) row in
+        let rhs = Rat.mul rhs inv in
+        matrix.(!r) <- (row, rhs);
+        for i = 0 to rows_n - 1 do
+          if i <> !r then begin
+            let ri, bi = matrix.(i) in
+            let f = ri.(c) in
+            if not (Rat.is_zero f) then begin
+              let ri' = Array.mapi (fun j x -> Rat.sub x (Rat.mul f row.(j))) ri in
+              let bi' = Rat.sub bi (Rat.mul f rhs) in
+              matrix.(i) <- (ri', bi')
+            end
+          end
+        done;
+        pivot_col.(!r) <- c;
+        incr r
+      end
+    end
+  done;
+  (* rows beyond rank must have zero rhs, else inconsistent *)
+  let inconsistent = ref false in
+  for i = !r to rows_n - 1 do
+    let row, rhs = matrix.(i) in
+    if Array.for_all Rat.is_zero row && not (Rat.is_zero rhs) then
+      inconsistent := true
+  done;
+  if !inconsistent then `NoSolution
+  else begin
+    (* classify each variable *)
+    let entries =
+      List.mapi
+        (fun c _ ->
+          (* Column never mentioned by any original row -> Any. *)
+          let mentioned =
+            List.exists (fun (coeffs, _) -> List.nth coeffs c <> 0) rows
+          in
+          if not mentioned then Any
+          else begin
+            (* Unique if c is a pivot column and its row has no other
+               nonzero in a non-pivot (free) column. *)
+            let rec find_pivot i =
+              if i >= !r then None
+              else if pivot_col.(i) = c then Some i
+              else find_pivot (i + 1)
+            in
+            match find_pivot 0 with
+            | None -> Coupled (* free variable *)
+            | Some i ->
+                let row, rhs = matrix.(i) in
+                let depends_on_free = ref false in
+                Array.iteri
+                  (fun j x ->
+                    if j <> c && not (Rat.is_zero x) then
+                      (* j is necessarily a free column after Jordan *)
+                      depends_on_free := true)
+                  row;
+                if !depends_on_free then Coupled
+                else (
+                  match Rat.to_int_opt rhs with
+                  | Some v -> Exact v
+                  | None -> Exact min_int (* non-integral: flagged below *))
+          end)
+        loops
+    in
+    (* A non-integral unique solution means no integer dependence. *)
+    if List.exists (function Exact v -> v = min_int | _ -> false) entries then
+      `NoSolution
+    else `Solved entries
+  end
+
+(** Distance entries for a uniformly generated pair, in units of
+    iterations of each common loop. *)
+let ug_distance_vector (a : Access.t) (b : Access.t) : result =
+  let loops = common_loops a b in
+  if not (Access.is_affine a && Access.is_affine b) then Unknown
+  else
+    let fa = Access.affine_exn a and fb = Access.affine_exn b in
+    if List.length fa <> List.length fb then Independent
+    else begin
+      let names = List.map (fun (l : Ast.loop) -> l.index) loops in
+      (* Uniform generation over the *common* loops: equal coefficients. *)
+      let uniform =
+        List.for_all2
+          (fun f g ->
+            List.for_all (fun v -> Affine.coeff f v = Affine.coeff g v) names)
+          fa fb
+      in
+      if not uniform then Unknown
+      else begin
+        (* Subscripts may also involve non-common variables (e.g. an inner
+           loop index below the common nest); if coefficients on those
+           also match, the difference cancels, otherwise give up. *)
+        let extra_ok =
+          List.for_all2
+            (fun f g ->
+              let all = Affine.vars f @ Affine.vars g in
+              List.for_all
+                (fun v -> List.mem v names || Affine.coeff f v = Affine.coeff g v)
+                all)
+            fa fb
+        in
+        if not extra_ok then Unknown
+        else begin
+          (* Row per dimension: sum_k a_k * step_k * t_k = ca - cb, so
+             that [t] solves [f_a(i) = f_b(i + t)] — entry [t_k] is the
+             number of iterations of loop k *after* [a]'s access at which
+             [b] touches the same element (negative: [b] touched it
+             earlier). *)
+          let rows =
+            List.map2
+              (fun f g ->
+                let coeffs =
+                  List.map
+                    (fun (l : Ast.loop) -> Affine.coeff f l.index * l.step)
+                    loops
+                in
+                (coeffs, Affine.const_part f - Affine.const_part g))
+              fa fb
+          in
+          (* Drop rows that constrain nothing and have zero rhs. *)
+          let rows' =
+            List.filter (fun (cs, rhs) -> rhs <> 0 || List.exists (( <> ) 0) cs) rows
+          in
+          (* Integer feasibility per row (GCD test): even an
+             underdetermined rational system has no integer solution when
+             some row's coefficient gcd does not divide its constant. *)
+          let row_infeasible (cs, rhs) =
+            let g = List.fold_left gcd 0 cs in
+            if g = 0 then rhs <> 0 else rhs mod g <> 0
+          in
+          if List.exists row_infeasible rows' then Independent
+          else if rows' = [] then
+            Distance (List.map (fun _ -> Any) loops)
+          else
+            match solve_distance ~loops ~rows:rows' with
+            | `NoSolution -> Independent
+            | `Solved entries ->
+                (* Distances beyond the trip count cannot be realised. *)
+                let realizable =
+                  List.for_all2
+                    (fun e (l : Ast.loop) ->
+                      match e with
+                      | Exact v -> abs v < Ast.loop_trip l
+                      | Any | Coupled -> true)
+                    entries loops
+                in
+                if realizable then Distance entries else Independent
+        end
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Independence tests for non-uniformly generated pairs *)
+
+
+(** GCD test on linearized subscripts: independence when the gcd of all
+    index coefficients does not divide the constant difference. *)
+let gcd_test (decl : Ast.array_decl) (a : Access.t) (b : Access.t) : bool =
+  match (Access.linearized decl a, Access.linearized decl b) with
+  | Some fa, Some fb ->
+      let diff = Affine.const_part fb - Affine.const_part fa in
+      let coeffs =
+        List.map (fun v -> Affine.coeff fa v) (Affine.vars fa)
+        @ List.map (fun v -> -Affine.coeff fb v) (Affine.vars fb)
+      in
+      let g = List.fold_left gcd 0 coeffs in
+      if g = 0 then diff <> 0 else diff mod g <> 0
+  | _ -> false
+
+(** Banerjee-style extreme value test: independence when
+    [f_a(i) - f_b(i')] cannot be zero over the iteration spaces. Loop
+    bounds are constant in our input domain, so the extrema are exact for
+    independent variables. *)
+let banerjee_test (decl : Ast.array_decl) (a : Access.t) (b : Access.t) : bool =
+  match (Access.linearized decl a, Access.linearized decl b) with
+  | Some fa, Some fb ->
+      let bound_of access v =
+        List.find_opt (fun (l : Ast.loop) -> l.index = v) access.Access.loops
+      in
+      let range access f =
+        List.fold_left
+          (fun (lo, hi) v ->
+            let c = Affine.coeff f v in
+            match bound_of access v with
+            | Some l ->
+                let last = l.lo + ((Ast.loop_trip l - 1) * l.step) in
+                let x = c * l.lo and y = c * last in
+                (lo + min x y, hi + max x y)
+            | None -> (min_int / 4, max_int / 4))
+          (Affine.const_part f, Affine.const_part f)
+          (Affine.vars f)
+      in
+      let lo_a, hi_a = range a fa in
+      let lo_b, hi_b = range b fb in
+      (* f_a - f_b ranges over [lo_a - hi_b, hi_a - lo_b] *)
+      lo_a - hi_b > 0 || hi_a - lo_b < 0
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pair classification *)
+
+let kind_of (a : Access.t) (b : Access.t) : kind =
+  match (a.kind, b.kind) with
+  | Access.Write, Access.Read -> Flow
+  | Access.Read, Access.Write -> Anti
+  | Access.Write, Access.Write -> Output
+  | Access.Read, Access.Read -> Input
+
+(** Dependence test for one ordered pair of same-array accesses. *)
+let test ?(decl : Ast.array_decl option) (a : Access.t) (b : Access.t) : result =
+  match ug_distance_vector a b with
+  | (Independent | Distance _) as r -> r
+  | Unknown -> (
+      match decl with
+      | Some d when gcd_test d a b || banerjee_test d a b -> Independent
+      | _ -> Unknown)
+
+(** All dependences of a body. Input (read-read) pairs are included only
+    when [include_input] — they matter for reuse, not for legality. For
+    pairs without a consistent distance we keep the dependence with
+    [Coupled]/[Any] entries where applicable, or a fully-[Coupled] vector
+    when nothing is known. *)
+let dependences ?(include_input = false) (k : Ast.kernel) (body : Ast.stmt list)
+    : dep list =
+  let accesses = Access.collect body in
+  let by_array = Access.to_array_map accesses in
+  List.concat_map
+    (fun (array, accs) ->
+      let decl = Ast.find_array k array in
+      let pairs = ref [] in
+      List.iter
+        (fun (a : Access.t) ->
+          List.iter
+            (fun (b : Access.t) ->
+              if a.id <= b.id then
+                let knd = kind_of a b in
+                if knd <> Input || include_input then
+                  pairs := (a, b) :: !pairs)
+            accs)
+        accs;
+      List.filter_map
+        (fun (a, b) ->
+          let loops = common_loops a b in
+          match test ?decl a b with
+          | Independent -> None
+          | Distance entries ->
+              (* Self-pairs with all-zero distance are the same access at
+                 the same iteration: not a dependence. *)
+              if
+                a.id = b.id
+                && List.for_all (function Exact 0 -> true | _ -> false) entries
+              then None
+              else begin
+                (* Normalise to a lexicographically non-negative vector:
+                   a negative leading distance is the same dependence
+                   viewed from the other end. *)
+                let rec leading = function
+                  | [] -> 0
+                  | Exact 0 :: rest -> leading rest
+                  | Exact v :: _ -> v
+                  | (Any | Coupled) :: _ -> 0
+                in
+                if leading entries < 0 then
+                  let flipped =
+                    List.map
+                      (function Exact v -> Exact (-v) | e -> e)
+                      entries
+                  in
+                  let flip_kind = function
+                    | Flow -> Anti
+                    | Anti -> Flow
+                    | (Output | Input) as k -> k
+                  in
+                  Some
+                    {
+                      src = b;
+                      dst = a;
+                      kind = flip_kind (kind_of a b);
+                      loops;
+                      distance = flipped;
+                    }
+                else
+                  Some
+                    { src = a; dst = b; kind = kind_of a b; loops; distance = entries }
+              end
+          | Unknown ->
+              Some
+                {
+                  src = a;
+                  dst = b;
+                  kind = kind_of a b;
+                  loops;
+                  distance = List.map (fun _ -> Coupled) loops;
+                })
+        (List.rev !pairs))
+    by_array
+
+(** The loop carrying this dependence: the outermost position whose
+    distance entry can be nonzero. [None] for loop-independent
+    dependences (all-zero distance). *)
+let carried_by (d : dep) : string option =
+  let rec go loops entries =
+    match (loops, entries) with
+    | [], [] -> None
+    | (l : Ast.loop) :: ls, e :: es -> (
+        match e with
+        | Exact 0 -> go ls es
+        | Exact _ | Any | Coupled -> Some l.index)
+    | _ -> None
+  in
+  go d.loops d.distance
+
+(** True when no true/anti/output dependence is carried by loop [index].
+    Such a loop's unrolled iterations all execute in parallel. *)
+let loop_carries_no_dependence (k : Ast.kernel) (body : Ast.stmt list) index :
+    bool =
+  let deps = dependences ~include_input:false k body in
+  not
+    (List.exists
+       (fun d ->
+         match carried_by d with Some i -> i = index | None -> false)
+       deps)
+
+(** Minimum nonzero |distance| among dependences carried by [index];
+    [None] when nothing consistent is carried by it. Larger minimum
+    distances admit more parallelism between dependent iterations. *)
+let min_carried_distance (k : Ast.kernel) (body : Ast.stmt list) index :
+    int option =
+  let deps = dependences ~include_input:false k body in
+  List.fold_left
+    (fun acc d ->
+      if carried_by d = Some index then
+        let entry =
+          List.fold_left2
+            (fun found (l : Ast.loop) e ->
+              if l.index = index then Some e else found)
+            None d.loops d.distance
+        in
+        match entry with
+        | Some (Exact v) when v <> 0 -> (
+            match acc with
+            | Some m -> Some (min m (abs v))
+            | None -> Some (abs v))
+        | _ -> acc
+      else acc)
+    None deps
+
+let pp_dep fmt d =
+  let entry_str = function
+    | Exact v -> string_of_int v
+    | Any -> "*"
+    | Coupled -> "?"
+  in
+  Format.fprintf fmt "%s: %a -> %a (%s)"
+    (match d.kind with
+    | Flow -> "flow"
+    | Anti -> "anti"
+    | Output -> "output"
+    | Input -> "input")
+    Access.pp d.src Access.pp d.dst
+    (String.concat ", " (List.map entry_str d.distance))

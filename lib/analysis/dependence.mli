@@ -1,0 +1,86 @@
+(** Data-dependence analysis on array accesses.
+
+    The design space exploration consumes three facts computed here
+    (Section 5.3 of the paper): whether a loop carries no dependence
+    (such loops are unrolled first, to the saturation point), minimum
+    nonzero carried distances (loops with larger distances are favoured
+    otherwise), and per-pair *consistent* distance vectors — the
+    precondition for scalar replacement.
+
+    For uniformly generated pairs the distance system is linear in the
+    subscript coefficients and solved exactly (rational Gaussian
+    elimination with per-row GCD feasibility and an integrality check);
+    non-uniformly generated pairs fall back to the GCD and Banerjee
+    independence tests. *)
+
+open Ir
+
+type entry =
+  | Exact of int  (** constant distance along this loop *)
+  | Any  (** subscripts do not constrain this loop: all distances occur *)
+  | Coupled  (** constrained jointly with other loops; not consistent *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val equal_entry : entry -> entry -> bool
+
+type result =
+  | Independent
+  | Distance of entry list  (** per common loop, outermost first *)
+  | Unknown  (** could not prove independence; no distance information *)
+
+val pp_result : Format.formatter -> result -> unit
+val show_result : result -> string
+val equal_result : result -> result -> bool
+
+type kind = Flow | Anti | Output | Input
+
+val pp_kind : Format.formatter -> kind -> unit
+val equal_kind : kind -> kind -> bool
+
+type dep = {
+  src : Access.t;
+  dst : Access.t;
+  kind : kind;
+  loops : Ast.loop list;  (** common enclosing loops, outermost first *)
+  distance : entry list;  (** aligned with [loops]; lexicographically
+                              non-negative *)
+}
+
+(** Common enclosing loops of two accesses (prefix by index name). *)
+val common_loops : Access.t -> Access.t -> Ast.loop list
+
+(** Distance entries for a uniformly generated pair, in iterations of
+    each common loop: entry [t_k] solves [f_a(i) = f_b(i + t)] — how many
+    iterations after [a]'s access [b] touches the same element. *)
+val ug_distance_vector : Access.t -> Access.t -> result
+
+(** GCD independence test on linearized subscripts. *)
+val gcd_test : Ast.array_decl -> Access.t -> Access.t -> bool
+
+(** Banerjee extreme-value independence test (exact extrema under the
+    constant loop bounds of the input domain). *)
+val banerjee_test : Ast.array_decl -> Access.t -> Access.t -> bool
+
+val kind_of : Access.t -> Access.t -> kind
+
+(** Dependence test for one pair of same-array accesses, using the exact
+    solver first and the independence tests as fallback. *)
+val test : ?decl:Ast.array_decl -> Access.t -> Access.t -> result
+
+(** All dependences of a body, normalised to lexicographically
+    non-negative distance vectors. Input (read-read) pairs only when
+    [include_input]. *)
+val dependences : ?include_input:bool -> Ast.kernel -> Ast.stmt list -> dep list
+
+(** The loop carrying a dependence: outermost position whose entry can be
+    nonzero; [None] for loop-independent dependences. *)
+val carried_by : dep -> string option
+
+(** No true/anti/output dependence is carried by the loop: its unrolled
+    iterations all execute in parallel. *)
+val loop_carries_no_dependence : Ast.kernel -> Ast.stmt list -> string -> bool
+
+(** Minimum nonzero |distance| among dependences carried by the loop. *)
+val min_carried_distance : Ast.kernel -> Ast.stmt list -> string -> int option
+
+val pp_dep : Format.formatter -> dep -> unit

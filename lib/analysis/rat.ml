@@ -1,0 +1,33 @@
+(** Exact rational arithmetic for the dependence solver's Gaussian
+    elimination. Numerators and denominators stay tiny (loop coefficients
+    and bounds), so native [int]s suffice. *)
+
+type t = { num : int; den : int }  (* den > 0, gcd(|num|, den) = 1 *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then invalid_arg "Rat.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let is_zero r = r.num = 0
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if is_zero b then invalid_arg "Rat.div: division by zero";
+  make (a.num * b.den) (a.den * b.num)
+
+let equal a b = a.num = b.num && a.den = b.den
+let to_int_opt r = if r.den = 1 then Some r.num else None
+let to_string r =
+  if r.den = 1 then string_of_int r.num
+  else Printf.sprintf "%d/%d" r.num r.den

@@ -1,0 +1,27 @@
+(** Exact rational arithmetic for the dependence solver's Gaussian
+    elimination. Numerators and denominators stay tiny (loop coefficients
+    and bounds), so native [int]s suffice. *)
+
+type t = private { num : int; den : int }  (** den > 0, reduced *)
+
+(** Raises [Invalid_argument] on a zero denominator. *)
+val make : int -> int -> t
+
+val of_int : int -> t
+val zero : t
+val one : t
+val is_zero : t -> bool
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Invalid_argument] on division by zero. *)
+val div : t -> t -> t
+
+val equal : t -> t -> bool
+
+(** [Some n] when the rational is the integer [n]. *)
+val to_int_opt : t -> int option
+
+val to_string : t -> string

@@ -1,0 +1,85 @@
+(** A design point: one unroll-factor vector, the code it generates, and
+    the behavioral synthesis estimates for it. Evaluating a point is the
+    `Generate; Synthesize; Balance` sequence of the paper's Figure 2. *)
+
+open Ir
+
+type point = {
+  vector : (string * int) list;  (** unroll factor per spine loop *)
+  kernel : Ast.kernel;  (** transformed code *)
+  estimate : Hls.Estimate.t;
+  report : Transform.Scalar_replace.report;
+}
+
+type context = {
+  source : Ast.kernel;  (** the input loop nest *)
+  profile : Hls.Estimate.profile;
+  capacity : int;  (** device slices *)
+  spine : Ast.loop list;
+  pipeline : Transform.Pipeline.options;  (** base options (vector is set per point) *)
+}
+
+let context ?(pipeline = Transform.Pipeline.default)
+    ?(profile = Hls.Estimate.default_profile ()) (source : Ast.kernel) =
+  {
+    source;
+    profile;
+    capacity = profile.Hls.Estimate.device.Hls.Device.capacity_slices;
+    spine = Loop_nest.spine source.k_body;
+    pipeline;
+  }
+
+(** Normalise a vector to cover every spine loop, with factors clamped to
+    divisors of the trip counts (the space the search explores; a
+    non-divisor factor would leave an epilogue that defeats scalar
+    replacement). *)
+let normalize_vector (ctx : context) (v : (string * int) list) :
+    (string * int) list =
+  List.map
+    (fun (l : Ast.loop) ->
+      let u = max 1 (Option.value ~default:1 (List.assoc_opt l.index v)) in
+      let trip = Ast.loop_trip l in
+      let u = min u trip in
+      let rec down u = if u <= 1 || trip mod u = 0 then max 1 u else down (u - 1) in
+      (l.index, down u))
+    ctx.spine
+
+let product v = List.fold_left (fun acc (_, u) -> acc * u) 1 v
+
+let vector_equal a b =
+  List.for_all2 (fun (i, u) (j, w) -> i = j && u = w) a b
+
+(** Unroll factor vector corresponding to no unrolling (the baseline of
+    Table 2: all other transformations still apply). *)
+let ubase (ctx : context) = List.map (fun (l : Ast.loop) -> (l.index, 1)) ctx.spine
+
+(** Full unrolling of every loop. *)
+let umax (ctx : context) =
+  List.map (fun (l : Ast.loop) -> (l.index, Ast.loop_trip l)) ctx.spine
+
+(** Generate the code for a vector and estimate it — the paper's
+    [Generate] followed by [Synthesize]. *)
+let evaluate (ctx : context) (v : (string * int) list) : point =
+  let v = normalize_vector ctx v in
+  let opts = { ctx.pipeline with Transform.Pipeline.vector = v } in
+  let r = Transform.Pipeline.apply opts ctx.source in
+  let estimate = Hls.Estimate.estimate ctx.profile r.Transform.Pipeline.kernel in
+  {
+    vector = v;
+    kernel = r.Transform.Pipeline.kernel;
+    estimate;
+    report = r.Transform.Pipeline.report;
+  }
+
+let balance (p : point) = p.estimate.Hls.Estimate.balance
+let space (p : point) = p.estimate.Hls.Estimate.slices
+let cycles (p : point) = p.estimate.Hls.Estimate.cycles
+let fits (ctx : context) (p : point) = space p <= ctx.capacity
+
+let pp_vector fmt v =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (List.map (fun (i, u) -> Printf.sprintf "%s=%d" i u) v))
+
+let pp_point fmt p =
+  Format.fprintf fmt "%a: cycles=%d slices=%d balance=%.3f" pp_vector p.vector
+    (cycles p) (space p) (balance p)

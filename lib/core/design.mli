@@ -1,0 +1,52 @@
+(** A design point: one unroll-factor vector, the code it generates, and
+    the behavioral synthesis estimates for it. Evaluating a point is the
+    [Generate; Synthesize; Balance] sequence of the paper's Figure 2. *)
+
+open Ir
+
+type point = {
+  vector : (string * int) list;  (** unroll factor per spine loop *)
+  kernel : Ast.kernel;  (** transformed code *)
+  estimate : Hls.Estimate.t;
+  report : Transform.Scalar_replace.report;
+}
+
+type context = {
+  source : Ast.kernel;  (** the input loop nest *)
+  profile : Hls.Estimate.profile;
+  capacity : int;  (** device slices *)
+  spine : Ast.loop list;
+  pipeline : Transform.Pipeline.options;
+      (** base options; the vector is set per point *)
+}
+
+val context :
+  ?pipeline:Transform.Pipeline.options ->
+  ?profile:Hls.Estimate.profile ->
+  Ast.kernel ->
+  context
+
+(** Cover every spine loop and clamp factors to divisors of the trip
+    counts — the space the search explores (a non-divisor factor leaves
+    an epilogue that defeats scalar replacement). *)
+val normalize_vector : context -> (string * int) list -> (string * int) list
+
+val product : (string * int) list -> int
+val vector_equal : (string * int) list -> (string * int) list -> bool
+
+(** No unrolling — the baseline of the paper's Table 2 (all other
+    transformations still apply). *)
+val ubase : context -> (string * int) list
+
+(** Full unrolling of every loop. *)
+val umax : context -> (string * int) list
+
+(** Generate the code for a vector and estimate it. *)
+val evaluate : context -> (string * int) list -> point
+
+val balance : point -> float
+val space : point -> int
+val cycles : point -> int
+val fits : context -> point -> bool
+val pp_vector : Format.formatter -> (string * int) list -> unit
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,17 @@
+(** Human-readable exploration reports: the saturation analysis, the
+    search trace with verdicts, the selected design's estimates, resource
+    and replacement breakdown, its data layout, the baseline comparison,
+    and the generated code — rendered as markdown. *)
+
+type t = {
+  context : Design.context;
+  result : Search.result;
+  baseline : Design.point;
+}
+
+(** Run the search and the baseline evaluation. *)
+val build : Design.context -> t
+
+val speedup : t -> float
+val render : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,114 @@
+(** The full design space, used as the evaluation oracle (Section 6.3):
+    the paper plots balance, cycles and area for *every* unroll-factor
+    combination and reports that the search visits only ~0.3% of the
+    space while landing near the best design.
+
+    The space size follows the paper's accounting — all integer unroll
+    factors for each explorable loop (trip_1 * trip_2 * ...) — while the
+    exhaustive sweep evaluates the divisor sub-lattice, which contains
+    every distinct generated design (a non-divisor factor leaves an
+    epilogue that only degrades the design). *)
+
+open Ir
+
+type sweep_point = {
+  vector : (string * int) list;
+  point : Design.point;
+}
+
+type t = {
+  points : sweep_point list;  (** the divisor lattice, evaluated *)
+  total_designs : int;  (** paper-style space size: product of trip counts *)
+}
+
+(** All divisor vectors over the explorable loops. [eligible] defaults to
+    the loops the saturation analysis considers (those that carry memory
+    accesses); MM's innermost loop is excluded exactly as in the paper. *)
+let divisor_vectors (ctx : Design.context) ~(eligible : string list) :
+    (string * int) list list =
+  let rec go = function
+    | [] -> [ [] ]
+    | (l : Ast.loop) :: rest ->
+        let tails = go rest in
+        let trip = Ast.loop_trip l in
+        let ds =
+          if List.mem l.index eligible then
+            List.filter (fun d -> trip mod d = 0) (List.init trip (fun i -> i + 1))
+          else [ 1 ]
+        in
+        List.concat_map (fun d -> List.map (fun tl -> (l.index, d) :: tl) tails) ds
+  in
+  go ctx.Design.spine
+
+let sweep ?eligible ?(max_product = max_int) (ctx : Design.context) : t =
+  let sat =
+    lazy
+      (Saturation.compute ~pipeline:ctx.Design.pipeline
+         ~num_memories:ctx.Design.profile.Hls.Estimate.device.Hls.Device.num_memories
+         ctx.Design.source)
+  in
+  let eligible =
+    match eligible with
+    | Some e -> e
+    | None -> (Lazy.force sat).Saturation.eligible
+  in
+  let vectors =
+    List.filter
+      (fun v -> List.fold_left (fun acc (_, u) -> acc * u) 1 v <= max_product)
+      (divisor_vectors ctx ~eligible)
+  in
+  let points =
+    List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
+  in
+  let total_designs =
+    List.fold_left
+      (fun acc (l : Ast.loop) ->
+        if List.mem l.index eligible then acc * Ast.loop_trip l else acc)
+      1 ctx.Design.spine
+  in
+  { points; total_designs }
+
+(** Best-performing design in the space that fits the device. *)
+let best_fitting (ctx : Design.context) (t : t) : sweep_point option =
+  let fitting =
+    List.filter (fun sp -> Design.space sp.point <= ctx.Design.capacity) t.points
+  in
+  match fitting with
+  | [] -> None
+  | p :: rest ->
+      Some
+        (List.fold_left
+           (fun best sp ->
+             if Design.cycles sp.point < Design.cycles best.point then sp else best)
+           p rest)
+
+(** Smallest design whose performance is within [slack] (e.g. 0.05) of
+    the best fitting design — the paper's third optimization criterion. *)
+let smallest_comparable ?(slack = 0.05) (ctx : Design.context) (t : t) :
+    sweep_point option =
+  match best_fitting ctx t with
+  | None -> None
+  | Some best ->
+      let limit =
+        int_of_float
+          (Float.ceil (float_of_int (Design.cycles best.point) *. (1.0 +. slack)))
+      in
+      let comparable =
+        List.filter
+          (fun sp ->
+            Design.space sp.point <= ctx.Design.capacity
+            && Design.cycles sp.point <= limit)
+          t.points
+      in
+      List.fold_left
+        (fun acc sp ->
+          match acc with
+          | None -> Some sp
+          | Some cur ->
+              if Design.space sp.point < Design.space cur.point then Some sp
+              else acc)
+        None comparable
+
+(** Fraction of the paper-style design space a search visited. *)
+let fraction_searched (t : t) ~(visited : int) : float =
+  float_of_int visited /. float_of_int (max 1 t.total_designs)

@@ -1,0 +1,36 @@
+(** The full design space, used as the evaluation oracle (Section 6.3):
+    the paper plots balance, cycles and area for every unroll-factor
+    combination and reports that the search visits only ~0.3% of the
+    space while landing near the best design.
+
+    The space size follows the paper's accounting — all integer unroll
+    factors for each explorable loop — while the exhaustive sweep
+    evaluates the divisor sub-lattice, which contains every distinct
+    generated design. *)
+
+type sweep_point = { vector : (string * int) list; point : Design.point }
+
+type t = {
+  points : sweep_point list;  (** the divisor lattice, evaluated *)
+  total_designs : int;  (** paper-style size: product of trip counts *)
+}
+
+(** All divisor vectors over the explorable loops. *)
+val divisor_vectors :
+  Design.context -> eligible:string list -> (string * int) list list
+
+(** Evaluate the whole lattice. [eligible] defaults to the saturation
+    analysis's loops; [max_product] skips points with larger unroll
+    products. *)
+val sweep : ?eligible:string list -> ?max_product:int -> Design.context -> t
+
+(** Best-performing design that fits the device. *)
+val best_fitting : Design.context -> t -> sweep_point option
+
+(** Smallest design within [slack] of the best fitting design's
+    performance — the paper's third optimization criterion. *)
+val smallest_comparable :
+  ?slack:float -> Design.context -> t -> sweep_point option
+
+(** Fraction of the paper-style space a search visited. *)
+val fraction_searched : t -> visited:int -> float

@@ -1,0 +1,161 @@
+(** Hand-written lexer for the C subset. Tracks line/column positions for
+    diagnostics; supports [//] and [/* ... */] comments. *)
+
+type pos = { line : int; col : int }
+
+type located = { tok : Token.t; pos : pos }
+
+exception Error of pos * string
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+type cursor = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let cursor src = { src; off = 0; line = 1; col = 1 }
+let eof c = c.off >= String.length c.src
+let peek c = if eof c then '\000' else c.src.[c.off]
+
+let peek2 c =
+  if c.off + 1 >= String.length c.src then '\000' else c.src.[c.off + 1]
+
+let advance c =
+  if not (eof c) then begin
+    if c.src.[c.off] = '\n' then begin
+      c.line <- c.line + 1;
+      c.col <- 1
+    end
+    else c.col <- c.col + 1;
+    c.off <- c.off + 1
+  end
+
+let pos_of c = { line = c.line; col = c.col }
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_space c =
+  match peek c with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance c;
+      skip_space c
+  | '/' when peek2 c = '/' ->
+      while (not (eof c)) && peek c <> '\n' do
+        advance c
+      done;
+      skip_space c
+  | '/' when peek2 c = '*' ->
+      let start = pos_of c in
+      advance c;
+      advance c;
+      let rec go () =
+        if eof c then error start "unterminated comment"
+        else if peek c = '*' && peek2 c = '/' then begin
+          advance c;
+          advance c
+        end
+        else begin
+          advance c;
+          go ()
+        end
+      in
+      go ();
+      skip_space c
+  | _ -> ()
+
+let keyword = function
+  | "for" -> Some Token.KW_FOR
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "int" -> Some Token.KW_INT
+  | "char" -> Some Token.KW_CHAR
+  | "short" -> Some Token.KW_SHORT
+  | "long" -> Some Token.KW_LONG
+  | "unsigned" -> Some Token.KW_UNSIGNED
+  | "signed" -> Some Token.KW_SIGNED
+  | _ -> None
+
+let next c : located =
+  skip_space c;
+  let pos = pos_of c in
+  let tok : Token.t =
+    if eof c then Token.EOF
+    else
+      let ch = peek c in
+      if is_digit ch then begin
+        let start = c.off in
+        while is_digit (peek c) do
+          advance c
+        done;
+        let text = String.sub c.src start (c.off - start) in
+        match int_of_string_opt text with
+        | Some n -> Token.INT_LIT n
+        | None -> error pos "integer literal out of range: %s" text
+      end
+      else if is_ident_start ch then begin
+        let start = c.off in
+        while is_ident (peek c) do
+          advance c
+        done;
+        let text = String.sub c.src start (c.off - start) in
+        match keyword text with Some t -> t | None -> Token.IDENT text
+      end
+      else begin
+        let two tok = advance c; advance c; tok in
+        let one tok = advance c; tok in
+        match (ch, peek2 c) with
+        | '+', '=' -> two Token.PLUS_ASSIGN
+        | '+', '+' -> two Token.PLUS_PLUS
+        | '-', '=' -> two Token.MINUS_ASSIGN
+        | '<', '=' -> two Token.LE
+        | '<', '<' -> two Token.SHL
+        | '>', '=' -> two Token.GE
+        | '>', '>' -> two Token.SHR
+        | '=', '=' -> two Token.EQ
+        | '!', '=' -> two Token.NE
+        | '&', '&' -> two Token.AMP_AMP
+        | '|', '|' -> two Token.BAR_BAR
+        | '(', _ -> one Token.LPAREN
+        | ')', _ -> one Token.RPAREN
+        | '{', _ -> one Token.LBRACE
+        | '}', _ -> one Token.RBRACE
+        | '[', _ -> one Token.LBRACKET
+        | ']', _ -> one Token.RBRACKET
+        | ';', _ -> one Token.SEMI
+        | ',', _ -> one Token.COMMA
+        | '?', _ -> one Token.QUESTION
+        | ':', _ -> one Token.COLON
+        | '=', _ -> one Token.ASSIGN
+        | '+', _ -> one Token.PLUS
+        | '-', _ -> one Token.MINUS
+        | '*', _ -> one Token.STAR
+        | '/', _ -> one Token.SLASH
+        | '%', _ -> one Token.PERCENT
+        | '<', _ -> one Token.LT
+        | '>', _ -> one Token.GT
+        | '!', _ -> one Token.BANG
+        | '&', _ -> one Token.AMP
+        | '|', _ -> one Token.BAR
+        | '^', _ -> one Token.CARET
+        | '~', _ -> one Token.TILDE
+        | _ -> error pos "unexpected character %C" ch
+      end
+  in
+  { tok; pos }
+
+(** Tokenize the whole input eagerly; the parser indexes into the result. *)
+let tokenize src =
+  let c = cursor src in
+  let rec go acc =
+    let t = next c in
+    if t.tok = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

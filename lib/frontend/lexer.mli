@@ -1,0 +1,11 @@
+(** Hand-written lexer for the C subset: integer literals, identifiers,
+    keywords, operators, with [//] and [/* ... */] comments and
+    line/column tracking for diagnostics. *)
+
+type pos = { line : int; col : int }
+type located = { tok : Token.t; pos : pos }
+
+exception Error of pos * string
+
+(** Tokenize the whole input eagerly; the last element is [EOF]. *)
+val tokenize : string -> located list

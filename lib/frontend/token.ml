@@ -1,0 +1,97 @@
+(** Tokens of the C subset accepted by the front end. *)
+
+type t =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_INT
+  | KW_CHAR
+  | KW_SHORT
+  | KW_LONG
+  | KW_UNSIGNED
+  | KW_SIGNED
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | QUESTION
+  | COLON
+  | ASSIGN  (** [=] *)
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUS_PLUS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AMP_AMP
+  | BAR_BAR
+  | BANG
+  | AMP
+  | BAR
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | IDENT s -> s
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_INT -> "int"
+  | KW_CHAR -> "char"
+  | KW_SHORT -> "short"
+  | KW_LONG -> "long"
+  | KW_UNSIGNED -> "unsigned"
+  | KW_SIGNED -> "signed"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | PLUS_PLUS -> "++"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AMP_AMP -> "&&"
+  | BAR_BAR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "<eof>"

@@ -1,0 +1,28 @@
+(** Target device and board model: a Xilinx Virtex-1000-class FPGA on an
+    Annapolis WildStar-class board, the platform of the paper's
+    experiments (Sections 2.1 and 6.2). Only the figures the DSE
+    algorithm consumes are modelled: slice capacity, the number of
+    external memories, their width, and the fixed target clock. *)
+
+type t = {
+  name : string;
+  capacity_slices : int;
+  num_memories : int;
+  memory_width_bits : int;
+  clock_ns : float;
+  ffs_per_slice : int;
+}
+
+(** Virtex 1000 with 12,288 slices; 4 external 32-bit memories per FPGA
+    on the WildStar board; the paper fixes the clock period at 40 ns. *)
+let virtex1000_wildstar =
+  {
+    name = "XCV1000 / WildStar";
+    capacity_slices = 12288;
+    num_memories = 4;
+    memory_width_bits = 32;
+    clock_ns = 40.0;
+    ffs_per_slice = 2;
+  }
+
+let default = virtex1000_wildstar

@@ -1,0 +1,20 @@
+(** Target device and board model: a Xilinx Virtex-1000-class FPGA on an
+    Annapolis WildStar-class board, the platform of the paper's
+    experiments. Only the figures the DSE algorithm consumes are
+    modelled: slice capacity, number and width of the external memories,
+    and the fixed target clock. *)
+
+type t = {
+  name : string;
+  capacity_slices : int;
+  num_memories : int;
+  memory_width_bits : int;
+  clock_ns : float;
+  ffs_per_slice : int;
+}
+
+(** Virtex 1000 (12,288 slices); 4 external 32-bit memories; 40 ns
+    clock. *)
+val virtex1000_wildstar : t
+
+val default : t

@@ -1,0 +1,357 @@
+(** Data-flow graph construction for one straight-line block (a loop body
+    or pre/post region with the inner loops factored out).
+
+    Nodes carry two independent facets:
+
+    - a {e timing} facet (operator class and width) consumed by the
+      {!Schedule} ASAP scheduler, and
+    - a {e semantic} facet (which operation, which operands, which array
+      element) consumed by the {!Sim} datapath simulator, which executes
+      the scheduled graph and must reproduce the reference interpreter's
+      results bit for bit.
+
+    Conditionals are predicated, the way behavioral synthesis schedules
+    them for a static FSM: both branches' operations are built, scalar
+    targets merge through a multiplexer, loads are issued unconditionally
+    (the paper's "the generated code always performs conditional memory
+    accesses"), and stores carry their guard conditions so the datapath
+    suppresses the write when the path is not taken. Register rotation is
+    a free parallel register transfer. Subscript arithmetic is linearized
+    into explicit address-computation nodes feeding the memory
+    operation. *)
+
+open Ir
+module Access = Analysis.Access
+
+type source = Const of int | Scalar of string
+
+(** Semantic operation of an [Op] node, aligned with its predecessors:
+    binary operators take the first two preds, the mux takes
+    (condition, then, else). *)
+type op_sem = Sbin of Ast.binop | Sun of Ast.unop | Smux
+
+type node_kind =
+  | Source of source  (** block input: ready at t = 0 *)
+  | Op of { sem : op_sem; cls : Op_model.op_class; width : int }
+  | Load of { array : string; mem : int; width : int; addr : int }
+      (** [addr]: node computing the flat (row-major) element index *)
+  | Store of {
+      array : string;
+      mem : int;
+      width : int;
+      addr : int;
+      value : int;
+      guards : (int * bool) list;
+          (** all must evaluate to the given polarity for the write to
+              commit; timing-wise the slot is always occupied *)
+    }
+  | Move of { regs : string list; pre : int list }
+      (** parallel left rotation of [regs], whose pre-rotation values are
+          the nodes [pre]; costs nothing in the datapath *)
+  | Move_out of { move : int; index : int }
+      (** the value of register [index] of rotation [move] after it fires *)
+  | Reg_write of { scalar : string; value : int }
+      (** commit of a scalar assignment: the register truncates the value
+          to the scalar's declared width (hardware registers are finite);
+          free in the schedule — the write happens on the clock edge *)
+
+type node = { id : int; kind : node_kind; preds : int list }
+
+type t = { nodes : node array }
+
+(** Cursor over the kernel-wide access list (from [Access.collect] on the
+    full body, in document order); the builder consumes accesses in the
+    same order it encounters the corresponding [Arr] occurrences, so the
+    memory assignment computed by {!Data_layout.Layout} lines up. *)
+type cursor = { mutable rest : Access.t list }
+
+let cursor_of accesses = { rest = accesses }
+
+exception Desync of string
+
+let pop_access cur array kind =
+  match cur.rest with
+  | a :: tl when a.Access.array = array && a.Access.kind = kind ->
+      cur.rest <- tl;
+      a
+  | a :: _ ->
+      raise
+        (Desync
+           (Printf.sprintf "expected %s of %s, cursor at %s of %s"
+              (match kind with Access.Read -> "read" | Access.Write -> "write")
+              array
+              (match a.Access.kind with
+              | Access.Read -> "read"
+              | Access.Write -> "write")
+              a.Access.array))
+  | [] -> raise (Desync ("cursor exhausted at " ^ array))
+
+type builder = {
+  k : Ast.kernel;
+  mem_of : Access.t -> int;
+  cur : cursor;
+  mutable nodes : node list;  (* reversed *)
+  mutable count : int;
+  mutable defs : (string * int) list;  (* scalar -> defining node *)
+  mutable inputs : (string * int) list;  (* scalar -> shared Source node *)
+  mutable last_store : (string * int) list;  (* array -> last store node *)
+  mutable loads_since : (string * int list) list;  (* array -> loads after it *)
+  mutable guards : (int * bool) list;  (* active predication context *)
+}
+
+let add b kind preds =
+  let id = b.count in
+  b.count <- id + 1;
+  b.nodes <- { id; kind; preds } :: b.nodes;
+  id
+
+let scalar_input b v =
+  match List.assoc_opt v b.inputs with
+  | Some id -> id
+  | None ->
+      let id = add b (Source (Scalar v)) [] in
+      b.inputs <- (v, id) :: b.inputs;
+      id
+
+let width_of b e = Dtype.bits (Ast.expr_type b.k e)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let classify_bin (op : Ast.binop) (a : Ast.expr) (c : Ast.expr) :
+    Op_model.op_class =
+  let const_operand =
+    match (a, c) with Ast.Int n, _ | _, Ast.Int n -> Some n | _ -> None
+  in
+  match op with
+  | Ast.Add | Ast.Sub -> Op_model.Add
+  | Ast.Mul -> (
+      match const_operand with
+      | Some n when is_pow2 (abs n) -> Op_model.Shift_const
+      | Some _ -> Op_model.Add (* shift-add decomposition *)
+      | None -> Op_model.Mul)
+  | Ast.Div | Ast.Mod -> (
+      match const_operand with
+      | Some n when is_pow2 (abs n) -> Op_model.Shift_const
+      | _ -> Op_model.Div)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Op_model.Cmp
+  | Ast.And | Ast.Or | Ast.Band | Ast.Bor | Ast.Bxor -> Op_model.Logic
+  | Ast.Shl | Ast.Shr -> (
+      match (a, c) with
+      | _, Ast.Int _ -> Op_model.Shift_const
+      | _ -> Op_model.Shift_var)
+  | Ast.Min | Ast.Max -> Op_model.Min_max
+
+let array_info b name =
+  match Ast.find_array b.k name with
+  | Some d -> (Dtype.bits d.Ast.a_elem, d.Ast.a_dims)
+  | None -> (32, [ 0 ])
+
+let note_load b array id =
+  let cur = Option.value ~default:[] (List.assoc_opt array b.loads_since) in
+  b.loads_since <- (array, id :: cur) :: List.remove_assoc array b.loads_since
+
+let order_preds_for_load b array =
+  match List.assoc_opt array b.last_store with Some s -> [ s ] | None -> []
+
+let order_preds_for_store b array =
+  let loads = Option.value ~default:[] (List.assoc_opt array b.loads_since) in
+  let st =
+    match List.assoc_opt array b.last_store with Some s -> [ s ] | None -> []
+  in
+  loads @ st
+
+let rec build_expr b (e : Ast.expr) : int =
+  match e with
+  | Ast.Int n -> add b (Source (Const n)) []
+  | Ast.Var v -> (
+      match List.assoc_opt v b.defs with
+      | Some id -> id
+      | None -> scalar_input b v)
+  | Ast.Arr (array, subs) ->
+      let addr = build_address b array subs in
+      let access = pop_access b.cur array Access.Read in
+      let width, _ = array_info b array in
+      let mem = b.mem_of access in
+      let id =
+        add b
+          (Load { array; mem; width; addr })
+          ((addr :: order_preds_for_load b array))
+      in
+      note_load b array id;
+      id
+  | Ast.Bin (op, x, y) ->
+      let nx = build_expr b x in
+      let ny = build_expr b y in
+      let cls = classify_bin op x y in
+      add b (Op { sem = Sbin op; cls; width = width_of b e }) [ nx; ny ]
+  | Ast.Un (op, x) ->
+      let nx = build_expr b x in
+      let cls =
+        match op with
+        | Ast.Neg -> Op_model.Add
+        | Ast.Not | Ast.Bnot -> Op_model.Logic
+        | Ast.Abs -> Op_model.Abs_op
+      in
+      add b (Op { sem = Sun op; cls; width = width_of b e }) [ nx ]
+  | Ast.Cond (c, t, el) ->
+      let nc = build_expr b c in
+      let nt = build_expr b t in
+      let ne = build_expr b el in
+      add b
+        (Op { sem = Smux; cls = Op_model.Mux; width = width_of b e })
+        [ nc; nt; ne ]
+
+(** Row-major address computation, Horner style:
+    [((s0 * d1 + s1) * d2 + s2) ...] — one constant multiply (usually a
+    shift or shift-add) and one add per extra dimension, matching what
+    synthesis emits for a linearized array. Returns the node holding the
+    flat index. *)
+and build_address b array subs : int =
+  let _, dims = array_info b array in
+  let sub_nodes = List.map (fun s -> (s, build_expr b s)) subs in
+  match (sub_nodes, dims) with
+  | [ (_, n) ], _ -> n
+  | [], _ -> add b (Source (Const 0)) []
+  | (_, first) :: rest, _ :: rest_dims ->
+      let rec go acc rest rest_dims =
+        match (rest, rest_dims) with
+        | [], _ | _, [] -> acc
+        | (_, n) :: more, d :: more_dims ->
+            let cd = add b (Source (Const d)) [] in
+            let scaled =
+              add b
+                (Op
+                   {
+                     sem = Sbin Ast.Mul;
+                     cls =
+                       (if is_pow2 d then Op_model.Shift_const else Op_model.Add);
+                     width = 16;
+                   })
+                [ acc; cd ]
+            in
+            let sum =
+              add b
+                (Op { sem = Sbin Ast.Add; cls = Op_model.Add; width = 16 })
+                [ scaled; n ]
+            in
+            go sum more more_dims
+      in
+      go first rest rest_dims
+  | _ :: _ :: _, [] -> add b (Source (Const 0)) []
+
+let rec build_stmt b (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Assign (Ast.Lvar v, e) ->
+      let n = build_expr b e in
+      let w = add b (Reg_write { scalar = v; value = n }) [ n ] in
+      b.defs <- (v, w) :: List.remove_assoc v b.defs
+  | Ast.Assign (Ast.Larr (array, subs), e) ->
+      let n = build_expr b e in
+      let addr = build_address b array subs in
+      let access = pop_access b.cur array Access.Write in
+      let width, _ = array_info b array in
+      let mem = b.mem_of access in
+      let id =
+        add b
+          (Store { array; mem; width; addr; value = n; guards = b.guards })
+          ((n :: addr :: order_preds_for_store b array))
+      in
+      b.last_store <- (array, id) :: List.remove_assoc array b.last_store;
+      b.loads_since <- List.remove_assoc array b.loads_since
+  | Ast.If (c, t, el) ->
+      let nc = build_expr b c in
+      let before = b.defs in
+      let outer_guards = b.guards in
+      b.guards <- (nc, true) :: outer_guards;
+      List.iter (build_stmt b) t;
+      let after_then = b.defs in
+      b.defs <- before;
+      b.guards <- (nc, false) :: outer_guards;
+      List.iter (build_stmt b) el;
+      b.guards <- outer_guards;
+      let after_else = b.defs in
+      (* Merge scalar definitions through muxes. *)
+      let assigned =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (v, id) ->
+               if List.assoc_opt v before <> Some id then Some v else None)
+             (after_then @ after_else))
+      in
+      b.defs <- after_else;
+      List.iter
+        (fun v ->
+          let old () =
+            match List.assoc_opt v before with
+            | Some id -> id
+            | None -> scalar_input b v
+          in
+          let th =
+            match List.assoc_opt v after_then with Some id -> id | None -> old ()
+          in
+          let el' =
+            match List.assoc_opt v after_else with Some id -> id | None -> old ()
+          in
+          if th <> el' then begin
+            let w =
+              match Ast.find_scalar b.k v with
+              | Some d -> Dtype.bits d.Ast.s_elem
+              | None -> 32
+            in
+            let m =
+              add b
+                (Op { sem = Smux; cls = Op_model.Mux; width = w })
+                [ nc; th; el' ]
+            in
+            b.defs <- (v, m) :: List.remove_assoc v b.defs
+          end)
+        assigned
+  | Ast.Rotate rs ->
+      let pre = List.map (fun r ->
+          match List.assoc_opt r b.defs with
+          | Some id -> id
+          | None -> scalar_input b r) rs
+      in
+      let mid = add b (Move { regs = rs; pre }) pre in
+      List.iteri
+        (fun i r ->
+          let out = add b (Move_out { move = mid; index = i }) [ mid ] in
+          b.defs <- (r, out) :: List.remove_assoc r b.defs)
+        rs
+  | Ast.For _ -> invalid_arg "Dfg.of_block: loops must be factored out"
+
+(** Build the DFG of a straight-line block. [cursor] advances past the
+    block's accesses. The final scalar environment (scalar name -> node
+    that holds its value at block exit) is returned alongside, for the
+    simulator's write-back. *)
+let of_block_with_defs ~(kernel : Ast.kernel) ~(mem_of : Access.t -> int)
+    ~(cursor : cursor) (stmts : Ast.stmt list) : t * (string * int) list =
+  let b =
+    {
+      k = kernel;
+      mem_of;
+      cur = cursor;
+      nodes = [];
+      count = 0;
+      defs = [];
+      inputs = [];
+      last_store = [];
+      loads_since = [];
+      guards = [];
+    }
+  in
+  List.iter (build_stmt b) stmts;
+  ({ nodes = Array.of_list (List.rev b.nodes) }, b.defs)
+
+let of_block ~kernel ~mem_of ~cursor stmts =
+  fst (of_block_with_defs ~kernel ~mem_of ~cursor stmts)
+
+let n_loads (g : t) =
+  Array.fold_left
+    (fun acc n -> match n.kind with Load _ -> acc + 1 | _ -> acc)
+    0 g.nodes
+
+let n_stores (g : t) =
+  Array.fold_left
+    (fun acc n -> match n.kind with Store _ -> acc + 1 | _ -> acc)
+    0 g.nodes

@@ -1,0 +1,76 @@
+(** Data-flow graph construction for one straight-line block.
+
+    Nodes carry a {e timing} facet (operator class and width, for the
+    {!Schedule} ASAP scheduler) and a {e semantic} facet (which
+    operation, which operands, which array element, for the {!Sim}
+    datapath simulator). Conditionals are predicated: both branches
+    build, scalar targets merge through muxes, loads issue
+    unconditionally (the paper's conditional memory accesses), stores
+    carry their guard conditions. Register rotation is a free parallel
+    transfer; subscripts linearize into explicit address nodes. *)
+
+open Ir
+module Access = Analysis.Access
+
+type source = Const of int | Scalar of string
+
+type op_sem = Sbin of Ast.binop | Sun of Ast.unop | Smux
+
+type node_kind =
+  | Source of source  (** block input: ready at t = 0 *)
+  | Op of { sem : op_sem; cls : Op_model.op_class; width : int }
+  | Load of { array : string; mem : int; width : int; addr : int }
+      (** [addr]: node computing the flat (row-major) element index *)
+  | Store of {
+      array : string;
+      mem : int;
+      width : int;
+      addr : int;
+      value : int;
+      guards : (int * bool) list;
+          (** all must evaluate to the given polarity for the write to
+              commit; the schedule slot is occupied either way *)
+    }
+  | Move of { regs : string list; pre : int list }
+      (** parallel left rotation; free in the datapath *)
+  | Move_out of { move : int; index : int }
+      (** value of register [index] after rotation [move] fires *)
+  | Reg_write of { scalar : string; value : int }
+      (** scalar commit: truncates to the declared width; free *)
+
+type node = { id : int; kind : node_kind; preds : int list }
+
+type t = { nodes : node array }  (** ids are topological *)
+
+(** Cursor over the kernel-wide access list (from [Access.collect] on the
+    full body, in document order); the builder consumes accesses in the
+    same order it encounters [Arr] occurrences, so the memory assignment
+    of {!Data_layout.Layout} lines up. *)
+type cursor
+
+val cursor_of : Access.t list -> cursor
+
+(** The cursor and the block disagree — a bug in the caller's region
+    walk. *)
+exception Desync of string
+
+(** Build the DFG of a straight-line block ([For] raises
+    [Invalid_argument]); the cursor advances past the block's accesses.
+    The [_with_defs] variant also returns the scalar environment at block
+    exit (scalar -> node), for the simulator's write-back. *)
+val of_block_with_defs :
+  kernel:Ast.kernel ->
+  mem_of:(Access.t -> int) ->
+  cursor:cursor ->
+  Ast.stmt list ->
+  t * (string * int) list
+
+val of_block :
+  kernel:Ast.kernel ->
+  mem_of:(Access.t -> int) ->
+  cursor:cursor ->
+  Ast.stmt list ->
+  t
+
+val n_loads : t -> int
+val n_stores : t -> int

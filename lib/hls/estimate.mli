@@ -1,0 +1,48 @@
+(** Behavioral synthesis estimation: area (slices) and performance
+    (cycles) for a transformed kernel, plus the fetch/consumption rates
+    behind the balance metric — the system's stand-in for the Monet
+    estimator the paper invokes once per candidate design.
+
+    The kernel decomposes into a region tree (straight-line blocks and
+    loops); each block is scheduled jointly, memory-only and
+    compute-only; loops multiply their children by the trip count plus
+    one control cycle per iteration. Operator allocation takes the
+    per-class maximum concurrency over all blocks — behavioral synthesis
+    reuses operators across the peeled and main bodies, which is why
+    peeling does not double the datapath. *)
+
+open Ir
+
+type profile = {
+  device : Device.t;
+  mem : Memory_model.t;
+  chaining : bool;  (** see {!Schedule.profile} *)
+}
+
+val default_profile : ?pipelined:bool -> ?chaining:bool -> unit -> profile
+
+type t = {
+  cycles : int;  (** total execution cycles of the nest *)
+  mem_only_cycles : int;
+      (** cycles if only memory ports/latencies constrained the design *)
+  comp_only_cycles : int;
+      (** cycles if only operator delays and loop control constrained it *)
+  slices : int;  (** estimated area *)
+  register_bits : int;
+  bits_moved : int;  (** total data bits transferred to/from memories *)
+  fetch_rate : float;  (** F: bits per cycle the memories can provide *)
+  consumption_rate : float;  (** C: bits per cycle the datapath consumes *)
+  balance : float;  (** B = F / C (Section 3 of the paper) *)
+  states : int;  (** FSM states (static schedule length) *)
+  memories_used : int;
+  usage : ((Op_model.op_class * int) * int) list;  (** allocated operators *)
+  reads : int;  (** static read sites *)
+  writes : int;
+  time_ns : float;
+}
+
+(** Control cycles charged per loop iteration (FSM back edge). *)
+val loop_overhead_cycles : int
+
+val estimate : profile -> Ast.kernel -> t
+val pp : Format.formatter -> t -> unit

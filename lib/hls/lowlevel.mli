@@ -1,0 +1,16 @@
+(** Low-level synthesis (logic synthesis + place-and-route) degradation
+    model, used to reproduce the paper's Section 6.4 accuracy study:
+    cycle counts never change from the behavioral estimate; the achieved
+    clock degrades with routing complexity (small for selected designs,
+    severe for the very largest); area grows slightly super-linearly. *)
+
+type implemented = {
+  estimate : Estimate.t;
+  cycles : int;  (** unchanged from behavioral synthesis *)
+  achieved_clock_ns : float;
+  actual_slices : int;
+  meets_timing : bool;  (** within the 40 ns target *)
+  time_ns : float;
+}
+
+val place_and_route : ?device:Device.t -> Estimate.t -> implemented

@@ -1,0 +1,25 @@
+(** External memory timing model.
+
+    The paper evaluates two regimes (Section 6.2): fully pipelined
+    accesses (read and write latency of 1 cycle, one access issued per
+    memory per cycle) and non-pipelined accesses with the Annapolis
+    WildStar latencies — 7-cycle reads and 3-cycle writes, during which
+    the memory is busy. Real systems fall in between. *)
+
+type t = {
+  read_latency : int;  (** cycles from issue to data *)
+  write_latency : int;
+  read_occupancy : int;  (** cycles the memory port is busy per read *)
+  write_occupancy : int;
+}
+
+let pipelined =
+  { read_latency = 1; write_latency = 1; read_occupancy = 1; write_occupancy = 1 }
+
+(** WildStar without access pipelining. *)
+let non_pipelined =
+  { read_latency = 7; write_latency = 3; read_occupancy = 7; write_occupancy = 3 }
+
+let of_flag ~pipelined:p = if p then pipelined else non_pipelined
+
+let name t = if t.read_occupancy = 1 then "pipelined" else "non-pipelined"

@@ -1,0 +1,17 @@
+(** External memory timing. The paper evaluates two regimes
+    (Section 6.2): fully pipelined accesses (1-cycle reads and writes,
+    one access per memory per cycle) and non-pipelined accesses with the
+    Annapolis WildStar latencies — 7-cycle reads, 3-cycle writes, the
+    memory busy throughout. *)
+
+type t = {
+  read_latency : int;  (** cycles from issue to data *)
+  write_latency : int;
+  read_occupancy : int;  (** cycles the port is busy per read *)
+  write_occupancy : int;
+}
+
+val pipelined : t
+val non_pipelined : t
+val of_flag : pipelined:bool -> t
+val name : t -> string

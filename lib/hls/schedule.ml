@@ -1,0 +1,149 @@
+(** As-Soon-As-Possible scheduling of one block's DFG under memory-port
+    and clock-period constraints — the estimator's stand-in for Monet's
+    scheduler (the paper names Monet's algorithm ASAP, Section 5.2).
+
+    Operations chain combinationally within the 40 ns cycle as long as
+    their accumulated delay fits; memory operations are issued at cycle
+    boundaries, at most one unposted access per memory per occupancy
+    window. Two relaxed modes serve the balance metric: [`Mem_only]
+    ignores computation (the rate at which the memories could supply
+    data) and [`Comp_only] ignores memory constraints (the rate at which
+    the datapath could consume it). *)
+
+type mode = [ `Joint | `Mem_only | `Comp_only ]
+
+type profile = {
+  device : Device.t;
+  mem : Memory_model.t;
+  chaining : bool;
+      (** allow several dependent operators to share one clock cycle when
+          their delays fit the period. Monet-generation tools scheduled
+          essentially one operation level per control step, so the
+          paper-faithful default is [false]; modern HLS chains freely. *)
+}
+
+type result = {
+  cycles : int;
+  bits_moved : int;
+  usage : ((Op_model.op_class * int) * int) list;
+      (** operator class/width-bucket -> max per-cycle concurrency;
+          the allocation a behavioral synthesis binder would need *)
+  reads : int;
+  writes : int;
+}
+
+let eps = 1e-6
+
+let run ?(mode : mode = `Joint) (p : profile) (g : Dfg.t) : result =
+  let clk = p.device.Device.clock_ns in
+  let use_mem = mode <> `Comp_only in
+  let use_comp = mode <> `Mem_only in
+  let n = Array.length g.Dfg.nodes in
+  let finish = Array.make n 0.0 in
+  (* Memory occupancy as a busy-cycle set per memory, with a per-memory
+     hint for the earliest cycle that may still be free (keeps the
+     all-ready-at-zero relaxed schedules linear). *)
+  let busy : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let hint : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let find_slot memid c0 occ =
+    let h = Option.value ~default:0 (Hashtbl.find_opt hint memid) in
+    let free c =
+      let rec go k = k >= occ || ((not (Hashtbl.mem busy (memid, c + k))) && go (k + 1)) in
+      go 0
+    in
+    let rec search c = if free c then c else search (c + 1) in
+    let c = search (max c0 h) in
+    for k = 0 to occ - 1 do
+      Hashtbl.replace busy (memid, c + k) ()
+    done;
+    (* advance the hint past any now-full prefix when this fill touched it *)
+    if c = h then begin
+      let rec bump c = if Hashtbl.mem busy (memid, c) then bump (c + 1) else c in
+      Hashtbl.replace hint memid (bump h)
+    end;
+    c
+  in
+  (* Operator concurrency per cycle. *)
+  let occupancy : (Op_model.op_class * int * int, int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let occupy cls bucket c0 c1 =
+    for c = c0 to c1 do
+      let key = (cls, bucket, c) in
+      Hashtbl.replace occupancy key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt occupancy key))
+    done
+  in
+  let bits = ref 0 in
+  let reads = ref 0 in
+  let writes = ref 0 in
+  let ready preds =
+    List.fold_left (fun acc p -> Float.max acc finish.(p)) 0.0 preds
+  in
+  let boundary t = Float.of_int (int_of_float (Float.ceil ((t -. eps) /. clk))) *. clk in
+  Array.iter
+    (fun (node : Dfg.node) ->
+      let r = ready node.preds in
+      match node.kind with
+      | Dfg.Source _ -> finish.(node.id) <- r
+      | Dfg.Move _ | Dfg.Move_out _ | Dfg.Reg_write _ -> finish.(node.id) <- r
+      | Dfg.Op { cls; width; _ } ->
+          if not use_comp then finish.(node.id) <- r
+          else begin
+            let d = Op_model.delay_ns cls ~width in
+            let free = d <= 1.0 in
+            (* free operations (constant shifts, wiring) always chain *)
+            let start =
+              if free then r
+              else if not p.chaining then boundary r
+              else if d >= clk then boundary r
+              else begin
+                (* chain within the current cycle if the delay fits *)
+                let cyc_start = Float.of_int (int_of_float (r /. clk)) *. clk in
+                if r +. d <= cyc_start +. clk +. eps then r else boundary r
+              end
+            in
+            let f = start +. d in
+            finish.(node.id) <- f;
+            if d > 0.5 then begin
+              let c0 = int_of_float (start /. clk) in
+              let c1 = int_of_float ((f -. eps) /. clk) in
+              occupy cls (Op_model.width_bucket width) c0 (max c0 c1)
+            end
+          end
+      | Dfg.Load { mem; width; _ } ->
+          incr reads;
+          bits := !bits + width;
+          if not use_mem then finish.(node.id) <- r
+          else begin
+            let c0 = int_of_float (Float.ceil ((r -. eps) /. clk)) in
+            let c = find_slot mem c0 p.mem.Memory_model.read_occupancy in
+            finish.(node.id) <-
+              Float.of_int (c + p.mem.Memory_model.read_latency) *. clk
+          end
+      | Dfg.Store { mem; width; _ } ->
+          incr writes;
+          bits := !bits + width;
+          if not use_mem then finish.(node.id) <- r
+          else begin
+            let c0 = int_of_float (Float.ceil ((r -. eps) /. clk)) in
+            let c = find_slot mem c0 p.mem.Memory_model.write_occupancy in
+            finish.(node.id) <-
+              Float.of_int (c + p.mem.Memory_model.write_latency) *. clk
+          end)
+    g.Dfg.nodes;
+  let max_finish = Array.fold_left Float.max 0.0 finish in
+  let cycles = int_of_float (Float.ceil ((max_finish -. eps) /. clk)) in
+  (* Fold per-cycle occupancy into per-operator maxima. *)
+  let usage : ((Op_model.op_class * int) * int) list =
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (cls, bucket, _) count ->
+        let key = (cls, bucket) in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+        Hashtbl.replace tbl key (max cur count))
+      occupancy;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort compare
+  in
+  { cycles = max cycles 0; bits_moved = !bits; usage; reads = !reads; writes = !writes }

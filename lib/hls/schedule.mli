@@ -1,0 +1,33 @@
+(** As-Soon-As-Possible scheduling of one block's DFG under memory-port
+    and clock-period constraints — the estimator's stand-in for Monet's
+    scheduler (the paper names Monet's algorithm ASAP, Section 5.2).
+
+    Memory operations issue at cycle boundaries, at most one per memory
+    per occupancy window. Two relaxed modes serve the balance metric:
+    [`Mem_only] ignores computation (the rate at which the memories could
+    supply data), [`Comp_only] ignores memory constraints (the rate at
+    which the datapath could consume it). *)
+
+type mode = [ `Joint | `Mem_only | `Comp_only ]
+
+type profile = {
+  device : Device.t;
+  mem : Memory_model.t;
+  chaining : bool;
+      (** allow dependent operators to share a clock cycle when their
+          delays fit the period. Monet-generation tools scheduled one
+          operation level per control step, so the paper-faithful default
+          used throughout is [false]. *)
+}
+
+type result = {
+  cycles : int;
+  bits_moved : int;
+  usage : ((Op_model.op_class * int) * int) list;
+      (** operator class/width-bucket -> max per-cycle concurrency: the
+          allocation a behavioral-synthesis binder would need *)
+  reads : int;
+  writes : int;
+}
+
+val run : ?mode:mode -> profile -> Dfg.t -> result

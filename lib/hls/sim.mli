@@ -1,0 +1,23 @@
+(** Cycle-faithful datapath simulation of the synthesized design.
+
+    Where the reference interpreter executes the *IR*, this module
+    executes the *hardware*: the very data-flow graphs the scheduler
+    timed — predicated stores, unconditionally-issued loads, register
+    banks rotating on clock edges, finite-width register commits, and
+    the memory banking chosen by the data layout. Agreement with the
+    interpreter (checked in the test suite for every kernel, many unroll
+    vectors and random programs) validates that the structures the
+    estimator prices really compute the source program. *)
+
+open Ir
+
+type result = {
+  arrays : (string * int array) list;  (** final contents, declaration order *)
+  cycles : int;  (** same static accounting as {!Estimate} *)
+  dynamic_loads : int;  (** loads issued, counting every iteration *)
+  dynamic_stores : int;  (** stores issued (committed or suppressed) *)
+  stores_suppressed : int;  (** predicated stores whose guard was false *)
+}
+
+val run :
+  ?inputs:(string * int array) list -> Estimate.profile -> Ast.kernel -> result

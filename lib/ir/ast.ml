@@ -1,0 +1,260 @@
+(** Abstract syntax for the affine loop-nest language.
+
+    This is the IR that every compiler pass operates on. It models the
+    paper's input domain (Section 2.4): loop nests over scalar and array
+    variables, no pointers, affine subscript expressions with a fixed
+    stride, constant loop bounds, and structured control flow whose memory
+    accesses the hardware performs conditionally.
+
+    Two constructs exist only in *transformed* code, never in source
+    programs: [Rotate], the register-bank rotation emitted by scalar
+    replacement for reuse carried by an outer loop, and register scalars
+    introduced by the compiler (tracked in {!kernel.k_scalars}). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Min
+  | Max
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Not | Bnot | Abs [@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Int of int
+  | Var of string
+  | Arr of string * expr list  (** array read; one subscript per dimension *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cond of expr * expr * expr  (** C ternary [c ? t : e] *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type lvalue =
+  | Lvar of string
+  | Larr of string * expr list
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of loop
+  | Rotate of string list
+      (** [Rotate [r0; ...; rn]] left-rotates a register bank: afterwards
+          [r0] holds the old [r1], ..., [rn] holds the old [r0]. All
+          transfers happen in parallel in hardware. *)
+
+and loop = {
+  index : string;
+  lo : int;  (** inclusive lower bound *)
+  hi : int;  (** exclusive upper bound; the loop runs while [index < hi] *)
+  step : int;  (** positive stride *)
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type array_decl = {
+  a_name : string;
+  a_elem : Dtype.t;
+  a_dims : int list;  (** extent per dimension, outermost first *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(** How a scalar came to exist; the estimator charges register area for
+    compiler-introduced registers but not for loop indices (which live in
+    the controller), and code generation initialises [`Param] scalars from
+    the host. *)
+type scalar_kind = Param | Register | Temp
+[@@deriving show { with_path = false }, eq, ord]
+
+type scalar_decl = {
+  s_name : string;
+  s_elem : Dtype.t;
+  s_kind : scalar_kind;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type kernel = {
+  k_name : string;
+  k_arrays : array_decl list;
+  k_scalars : scalar_decl list;
+  k_body : stmt list;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let loop_trip { lo; hi; step; _ } =
+  if step <= 0 then invalid_arg "Ast.loop_trip: nonpositive step";
+  if hi <= lo then 0 else ((hi - lo) + step - 1) / step
+
+let array_decl ?(elem = Dtype.int32) name dims =
+  { a_name = name; a_elem = elem; a_dims = dims }
+
+let scalar_decl ?(elem = Dtype.int32) ?(kind = Temp) name =
+  { s_name = name; s_elem = elem; s_kind = kind }
+
+let find_array k name = List.find_opt (fun a -> a.a_name = name) k.k_arrays
+
+let find_scalar k name = List.find_opt (fun s -> s.s_name = name) k.k_scalars
+
+let array_size a = List.fold_left ( * ) 1 a.a_dims
+
+(** Element type of an expression under the kernel's declarations.
+    Intermediate expressions take the join of their operand types;
+    comparisons and logical operators produce a 1-bit value that we widen
+    back on use, so for area purposes we report the operand join. *)
+let rec expr_type k = function
+  | Int _ -> Dtype.int32
+  | Var v -> (
+      match find_scalar k v with Some s -> s.s_elem | None -> Dtype.int32)
+  | Arr (a, _) -> (
+      match find_array k a with Some d -> d.a_elem | None -> Dtype.int32)
+  | Bin (_, a, b) -> Dtype.join (expr_type k a) (expr_type k b)
+  | Un (_, e) -> expr_type k e
+  | Cond (_, t, e) -> Dtype.join (expr_type k t) (expr_type k e)
+
+(** Type wide enough to hold the *full* result of the expression without
+    overflow — the width synthesis would give the wire. A register
+    declared at this width behaves exactly like the unmaterialised
+    expression, which is what lets LICM introduce temporaries without
+    changing wrap-around behaviour. *)
+let rec result_type k e =
+  let wide bits signed = Dtype.make ~bits:(min bits 64) ~signed in
+  match e with
+  | Int n ->
+      let rec need b = if n >= -(1 lsl (b - 1)) && n < 1 lsl (b - 1) then b else need (b + 1) in
+      wide (need 8) true
+  | Var _ | Arr _ -> expr_type k e
+  | Un (Neg, a) ->
+      let t = result_type k a in
+      wide (Dtype.bits t + 1) true
+  | Un ((Not | Bnot | Abs), a) -> result_type k a
+  | Bin (Mul, a, b) ->
+      let ta = result_type k a and tb = result_type k b in
+      wide (Dtype.bits ta + Dtype.bits tb) (Dtype.is_signed ta || Dtype.is_signed tb)
+  | Bin ((Add | Sub), a, b) ->
+      let ta = result_type k a and tb = result_type k b in
+      wide (max (Dtype.bits ta) (Dtype.bits tb) + 1) true
+  | Bin (Shl, a, Int s) when s >= 0 && s < 32 ->
+      let ta = result_type k a in
+      wide (Dtype.bits ta + s) (Dtype.is_signed ta)
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) ->
+      Dtype.make ~bits:8 ~signed:false
+  | Bin ((Div | Mod | Band | Bor | Bxor | Shr | Min | Max | Shl), a, b) ->
+      let ta = result_type k a and tb = result_type k b in
+      Dtype.join ta tb
+  | Cond (_, t, e') -> Dtype.join (result_type k t) (result_type k e')
+
+(* ------------------------------------------------------------------ *)
+(* Traversals *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int _ | Var _ -> acc
+  | Arr (_, subs) -> List.fold_left (fold_expr f) acc subs
+  | Bin (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Un (_, a) -> fold_expr f acc a
+  | Cond (c, t, e) -> fold_expr f (fold_expr f (fold_expr f acc c) t) e
+
+let rec fold_stmt ~stmt ~expr acc s =
+  let acc = stmt acc s in
+  match s with
+  | Assign (lv, e) ->
+      let acc =
+        match lv with
+        | Lvar _ -> acc
+        | Larr (_, subs) -> List.fold_left (fold_expr expr) acc subs
+      in
+      fold_expr expr acc e
+  | If (c, t, e) ->
+      let acc = fold_expr expr acc c in
+      let acc = List.fold_left (fold_stmt ~stmt ~expr) acc t in
+      List.fold_left (fold_stmt ~stmt ~expr) acc e
+  | For l -> List.fold_left (fold_stmt ~stmt ~expr) acc l.body
+  | Rotate _ -> acc
+
+let fold_stmts ~stmt ~expr acc body =
+  List.fold_left (fold_stmt ~stmt ~expr) acc body
+
+(** Bottom-up expression rewriting. *)
+let rec map_expr f e =
+  let e =
+    match e with
+    | Int _ | Var _ -> e
+    | Arr (a, subs) -> Arr (a, List.map (map_expr f) subs)
+    | Bin (op, a, b) -> Bin (op, map_expr f a, map_expr f b)
+    | Un (op, a) -> Un (op, map_expr f a)
+    | Cond (c, t, el) -> Cond (map_expr f c, map_expr f t, map_expr f el)
+  in
+  f e
+
+(** Rewrite every expression (including lvalue subscripts) in a statement. *)
+let rec map_stmt_exprs f s =
+  match s with
+  | Assign (lv, e) ->
+      let lv =
+        match lv with
+        | Lvar _ -> lv
+        | Larr (a, subs) -> Larr (a, List.map (map_expr f) subs)
+      in
+      Assign (lv, map_expr f e)
+  | If (c, t, e) ->
+      If
+        ( map_expr f c,
+          List.map (map_stmt_exprs f) t,
+          List.map (map_stmt_exprs f) e )
+  | For l -> For { l with body = List.map (map_stmt_exprs f) l.body }
+  | Rotate rs -> Rotate rs
+
+let map_body_exprs f body = List.map (map_stmt_exprs f) body
+
+(** Substitute expression [by] for every occurrence of variable [v]. *)
+let subst_var v by body =
+  map_body_exprs (function Var x when x = v -> by | e -> e) body
+
+(** All loop index names bound anywhere within [body]. *)
+let bound_indices body =
+  fold_stmts
+    ~stmt:(fun acc s -> match s with For l -> l.index :: acc | _ -> acc)
+    ~expr:(fun acc _ -> acc)
+    [] body
+
+(** Scalars read or written in [body] (excluding loop indices). *)
+let scalars_used body =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let acc =
+    fold_stmts
+      ~stmt:(fun acc s ->
+        match s with
+        | Assign (Lvar v, _) -> add acc v
+        | Rotate rs -> List.fold_left add acc rs
+        | _ -> acc)
+      ~expr:(fun acc e -> match e with Var v -> add acc v | _ -> acc)
+      [] body
+  in
+  let bound = bound_indices body in
+  List.filter (fun v -> not (List.mem v bound)) acc
+
+(** Arrays referenced (read or written) in [body]. *)
+let arrays_used body =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  fold_stmts
+    ~stmt:(fun acc s ->
+      match s with Assign (Larr (a, _), _) -> add acc a | _ -> acc)
+    ~expr:(fun acc e -> match e with Arr (a, _) -> add acc a | _ -> acc)
+    [] body

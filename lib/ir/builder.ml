@@ -1,0 +1,53 @@
+(** Combinators for constructing IR programmatically — used by the kernel
+    library, the tests and the examples. The infix operators mirror C so
+    that builder code reads like the paper's listings. *)
+
+open Ast
+
+let int n = Int n
+let var v = Var v
+let arr a subs = Arr (a, subs)
+let arr1 a s = Arr (a, [ s ])
+let arr2 a s0 s1 = Arr (a, [ s0; s1 ])
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( % ) a b = Bin (Mod, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let ( == ) a b = Bin (Eq, a, b)
+let ( != ) a b = Bin (Ne, a, b)
+let ( && ) a b = Bin (And, a, b)
+let ( || ) a b = Bin (Or, a, b)
+let neg a = Un (Neg, a)
+let abs a = Un (Abs, a)
+let min_ a b = Bin (Min, a, b)
+let max_ a b = Bin (Max, a, b)
+let cond c t e = Cond (c, t, e)
+
+(** [set lv e] — assignment to a scalar. *)
+let set v e = Assign (Lvar v, e)
+
+(** [store a subs e] — assignment to an array element. *)
+let store a subs e = Assign (Larr (a, subs), e)
+
+let store1 a s e = Assign (Larr (a, [ s ]), e)
+let store2 a s0 s1 e = Assign (Larr (a, [ s0; s1 ]), e)
+let if_ c t = If (c, t, [])
+let if_else c t e = If (c, t, e)
+let rotate rs = Rotate rs
+
+(** [for_ i lo hi body] — unit-stride loop [for (i = lo; i < hi; i++)],
+    with the index available as an expression. *)
+let for_ ?(step = 1) index lo hi body =
+  For { index; lo; hi; step; body = body (Var index) }
+
+(** Loop without the callback convenience, for already-built bodies. *)
+let loop ?(step = 1) index lo hi body = For { index; lo; hi; step; body }
+
+let kernel ?(arrays = []) ?(scalars = []) name body =
+  Loop_nest.validate
+    { k_name = name; k_arrays = arrays; k_scalars = scalars; k_body = body }

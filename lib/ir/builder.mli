@@ -1,0 +1,58 @@
+(** Combinators for constructing IR programmatically — used by the kernel
+    library, the tests and the examples. The infix operators mirror C so
+    that builder code reads like the paper's listings.
+
+    Note the operators shadow the integer ones; open or alias the module
+    locally ([module B = Ir.Builder]). *)
+
+val int : int -> Ast.expr
+val var : string -> Ast.expr
+val arr : string -> Ast.expr list -> Ast.expr
+val arr1 : string -> Ast.expr -> Ast.expr
+val arr2 : string -> Ast.expr -> Ast.expr -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val abs : Ast.expr -> Ast.expr
+val min_ : Ast.expr -> Ast.expr -> Ast.expr
+val max_ : Ast.expr -> Ast.expr -> Ast.expr
+val cond : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+
+(** Scalar assignment. *)
+val set : string -> Ast.expr -> Ast.stmt
+
+(** Array element assignment. *)
+val store : string -> Ast.expr list -> Ast.expr -> Ast.stmt
+
+val store1 : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val store2 : string -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt
+val if_else : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val rotate : string list -> Ast.stmt
+
+(** [for_ i lo hi body] — stride-[step] loop with the index available as
+    an expression inside [body]. *)
+val for_ :
+  ?step:int -> string -> int -> int -> (Ast.expr -> Ast.stmt list) -> Ast.stmt
+
+(** Loop over an already-built body. *)
+val loop : ?step:int -> string -> int -> int -> Ast.stmt list -> Ast.stmt
+
+(** Assemble and structurally validate a kernel. *)
+val kernel :
+  ?arrays:Ast.array_decl list ->
+  ?scalars:Ast.scalar_decl list ->
+  string ->
+  Ast.stmt list ->
+  Ast.kernel

@@ -1,0 +1,59 @@
+(** Element data types for scalars and array elements.
+
+    The paper targets multimedia kernels operating on 8-bit (image) and
+    16-bit (signal) data, with 32-bit accumulators; bit-width drives both
+    the operator area model and the data fetch/consumption rates of the
+    balance metric. *)
+
+type t = {
+  bits : int;  (** width in bits; must be positive *)
+  signed : bool;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ~bits ~signed =
+  if bits <= 0 || bits > 64 then
+    invalid_arg (Printf.sprintf "Dtype.make: unsupported width %d" bits);
+  { bits; signed }
+
+let int8 = make ~bits:8 ~signed:true
+let int16 = make ~bits:16 ~signed:true
+let int32 = make ~bits:32 ~signed:true
+let uint8 = make ~bits:8 ~signed:false
+let uint16 = make ~bits:16 ~signed:false
+let uint32 = make ~bits:32 ~signed:false
+let bits t = t.bits
+let is_signed t = t.signed
+
+(** Smallest type able to hold the result of combining two operands, used
+    when inferring widths of intermediate datapath values. *)
+let join a b = { bits = max a.bits b.bits; signed = a.signed || b.signed }
+
+(** Width at and beyond which a type is treated as unbounded: such widths
+    only arise for compiler-created intermediates sized to hold their
+    expression's full result (hardware wires), never for stored data in
+    the paper's 8/16/32-bit domain. *)
+let unbounded_bits = 48
+
+(** Inclusive range of representable values, as [(lo, hi)]. Wide
+    intermediate types are clamped to a safe native-int range. *)
+let range t =
+  if t.bits >= unbounded_bits then (min_int / 4, max_int / 4)
+  else if t.signed then
+    let h = (1 lsl (t.bits - 1)) - 1 in
+    (-h - 1, h)
+  else (0, (1 lsl t.bits) - 1)
+
+(** Wrap an unbounded integer into the representable range of [t], with
+    two's-complement semantics. Used by the reference interpreter so that
+    transformed and original programs agree even at overflow. Wide
+    intermediate types do not wrap. *)
+let wrap t v =
+  if t.bits >= unbounded_bits then v
+  else begin
+    let m = 1 lsl t.bits in
+    let v = ((v mod m) + m) mod m in
+    if t.signed && v >= m / 2 then v - m else v
+  end
+
+let to_string t = Printf.sprintf "%s%d" (if t.signed then "int" else "uint") t.bits

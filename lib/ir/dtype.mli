@@ -1,0 +1,52 @@
+(** Element data types for scalars and array elements.
+
+    The paper targets multimedia kernels operating on 8-bit (image) and
+    16-bit (signal) data with 32-bit accumulators; bit width drives both
+    the operator area model and the data fetch/consumption rates of the
+    balance metric. *)
+
+type t = {
+  bits : int;  (** width in bits; positive, at most 64 *)
+  signed : bool;
+}
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [make ~bits ~signed] builds a type. Raises [Invalid_argument] for
+    non-positive widths or widths beyond 64 bits. *)
+val make : bits:int -> signed:bool -> t
+
+val int8 : t
+val int16 : t
+val int32 : t
+val uint8 : t
+val uint16 : t
+val uint32 : t
+val bits : t -> int
+val is_signed : t -> bool
+
+(** Smallest type able to hold either operand: maximum width, signed if
+    either side is. *)
+val join : t -> t -> t
+
+(** Width at and beyond which a type is treated as unbounded by the
+    reference interpreter. Such widths only arise for compiler-created
+    intermediates sized to hold their expression's full result. *)
+val unbounded_bits : int
+
+(** Inclusive range of representable values, as [(lo, hi)]. Wide
+    intermediate types are clamped to a safe native-int range. *)
+val range : t -> int * int
+
+(** Wrap an unbounded integer into the representable range, with
+    two's-complement semantics; identity for wide intermediate types.
+    Both the reference interpreter and the datapath simulator apply this
+    at every store, so transformed and original programs agree even at
+    overflow. *)
+val wrap : t -> int -> int
+
+(** ["int32"], ["uint8"], ... — also accepted back by the front end. *)
+val to_string : t -> string

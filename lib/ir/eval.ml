@@ -1,0 +1,185 @@
+(** Reference interpreter for the IR.
+
+    The interpreter defines the semantics that every transformation must
+    preserve; the property tests in [test/] run random kernels on random
+    inputs before and after each pass and require identical final stores.
+
+    Arrays are flattened row-major. Every store wraps the value into the
+    declared element type (two's complement), so programs agree even when
+    intermediate results overflow. Out-of-bounds subscripts raise
+    {!Out_of_bounds} — a transformation that produces one is buggy. *)
+
+open Ast
+
+exception Out_of_bounds of string
+exception Unbound of string
+exception Division_by_zero of string
+
+type state = {
+  kernel : kernel;
+  arrays : (string, int array) Hashtbl.t;
+  scalars : (string, int) Hashtbl.t;
+}
+
+let bool_of_int v = v <> 0
+let int_of_bool b = if b then 1 else 0
+
+let array_index (decl : array_decl) (subs : int list) =
+  let rec go dims subs acc =
+    match (dims, subs) with
+    | [], [] -> acc
+    | d :: dims, s :: subs ->
+        if s < 0 || s >= d then
+          raise
+            (Out_of_bounds
+               (Printf.sprintf "%s: subscript %d out of [0, %d)" decl.a_name s d))
+        else go dims subs ((acc * d) + s)
+    | _ ->
+        raise
+          (Out_of_bounds
+             (Printf.sprintf "%s: expected %d subscripts, got %d" decl.a_name
+                (List.length decl.a_dims) (List.length subs)))
+  in
+  go decl.a_dims subs 0
+
+let init ?(inputs = []) ?(params = []) (kernel : kernel) : state =
+  let arrays = Hashtbl.create 16 in
+  List.iter
+    (fun a -> Hashtbl.replace arrays a.a_name (Array.make (array_size a) 0))
+    kernel.k_arrays;
+  List.iter
+    (fun (name, data) ->
+      match find_array kernel name with
+      | None -> raise (Unbound ("input array " ^ name))
+      | Some a ->
+          if Array.length data <> array_size a then
+            invalid_arg
+              (Printf.sprintf "Eval.init: %s expects %d elements, got %d" name
+                 (array_size a) (Array.length data));
+          Hashtbl.replace arrays name
+            (Array.map (Dtype.wrap a.a_elem) data))
+    inputs;
+  let scalars = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace scalars s.s_name 0) kernel.k_scalars;
+  List.iter (fun (name, v) -> Hashtbl.replace scalars name v) params;
+  { kernel; arrays; scalars }
+
+let lookup_scalar st v =
+  match Hashtbl.find_opt st.scalars v with
+  | Some x -> x
+  | None -> raise (Unbound ("scalar " ^ v))
+
+let array_decl_exn st a =
+  match find_array st.kernel a with
+  | Some d -> d
+  | None -> raise (Unbound ("array " ^ a))
+
+let rec eval_expr st e =
+  match e with
+  | Int n -> n
+  | Var v -> lookup_scalar st v
+  | Arr (a, subs) ->
+      let decl = array_decl_exn st a in
+      let idx = array_index decl (List.map (eval_expr st) subs) in
+      (Hashtbl.find st.arrays a).(idx)
+  | Un (op, a) -> (
+      let v = eval_expr st a in
+      match op with
+      | Neg -> -v
+      | Not -> int_of_bool (v = 0)
+      | Bnot -> lnot v
+      | Abs -> Stdlib.abs v)
+  | Bin (op, a, b) -> eval_binop st op a b
+  | Cond (c, t, e) ->
+      if bool_of_int (eval_expr st c) then eval_expr st t else eval_expr st e
+
+and eval_binop st op a b =
+  (* && and || short-circuit, as in C; everything else is strict. *)
+  match op with
+  | And ->
+      int_of_bool (bool_of_int (eval_expr st a) && bool_of_int (eval_expr st b))
+  | Or ->
+      int_of_bool (bool_of_int (eval_expr st a) || bool_of_int (eval_expr st b))
+  | _ -> (
+      let va = eval_expr st a in
+      let vb = eval_expr st b in
+      match op with
+      | Add -> va + vb
+      | Sub -> va - vb
+      | Mul -> va * vb
+      | Div ->
+          if vb = 0 then raise (Division_by_zero (Pretty.expr_to_string b))
+          else va / vb
+      | Mod ->
+          if vb = 0 then raise (Division_by_zero (Pretty.expr_to_string b))
+          else va mod vb
+      | Lt -> int_of_bool (va < vb)
+      | Le -> int_of_bool (va <= vb)
+      | Gt -> int_of_bool (va > vb)
+      | Ge -> int_of_bool (va >= vb)
+      | Eq -> int_of_bool (va = vb)
+      | Ne -> int_of_bool (va <> vb)
+      | Band -> va land vb
+      | Bor -> va lor vb
+      | Bxor -> va lxor vb
+      | Shl -> va lsl vb
+      | Shr -> va asr vb
+      | Min -> min va vb
+      | Max -> max va vb
+      | And | Or -> assert false)
+
+let scalar_type st v =
+  match find_scalar st.kernel v with
+  | Some s -> s.s_elem
+  | None -> Dtype.int32
+
+let rec exec_stmt st s =
+  match s with
+  | Assign (Lvar v, e) ->
+      if not (Hashtbl.mem st.scalars v) then raise (Unbound ("scalar " ^ v));
+      Hashtbl.replace st.scalars v (Dtype.wrap (scalar_type st v) (eval_expr st e))
+  | Assign (Larr (a, subs), e) ->
+      let decl = array_decl_exn st a in
+      let idx = array_index decl (List.map (eval_expr st) subs) in
+      (Hashtbl.find st.arrays a).(idx) <-
+        Dtype.wrap decl.a_elem (eval_expr st e)
+  | If (c, t, e) ->
+      if bool_of_int (eval_expr st c) then exec_body st t else exec_body st e
+  | For l ->
+      if l.step <= 0 then invalid_arg "Eval: nonpositive loop step";
+      Hashtbl.replace st.scalars l.index 0;
+      let i = ref l.lo in
+      while !i < l.hi do
+        Hashtbl.replace st.scalars l.index !i;
+        exec_body st l.body;
+        i := !i + l.step
+      done;
+      Hashtbl.remove st.scalars l.index
+  | Rotate rs -> (
+      (* Parallel left rotation: r0 <- r1, ..., r(n-1) <- rn, rn <- r0. *)
+      match rs with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let values = List.map (lookup_scalar st) rs in
+          let rotated = List.tl values @ [ List.hd values ] in
+          List.iter2 (Hashtbl.replace st.scalars) (first :: rest) rotated)
+
+and exec_body st body = List.iter (exec_stmt st) body
+
+(** Run a kernel. [inputs] give initial array contents (missing arrays are
+    zero-initialised); [params] give initial values of [Param] scalars.
+    Returns the final state. *)
+let run ?(inputs = []) ?(params = []) kernel =
+  let st = init ~inputs ~params kernel in
+  exec_body st kernel.k_body;
+  st
+
+let array_value st name = Hashtbl.find_opt st.arrays name
+let scalar_value st name = Hashtbl.find_opt st.scalars name
+
+(** Final contents of every declared array, in declaration order — the
+    canonical observable for equivalence testing. *)
+let observables st =
+  List.map
+    (fun a -> (a.a_name, Array.copy (Hashtbl.find st.arrays a.a_name)))
+    st.kernel.k_arrays

@@ -1,0 +1,47 @@
+(** Reference interpreter for the IR.
+
+    The interpreter defines the semantics every transformation must
+    preserve; the property tests run random kernels on random inputs
+    before and after each pass and require identical final stores.
+
+    Arrays are flattened row-major. Every store wraps the value into the
+    declared element type (two's complement), so programs agree even when
+    intermediate results overflow. *)
+
+exception Out_of_bounds of string
+exception Unbound of string
+exception Division_by_zero of string
+
+type state = {
+  kernel : Ast.kernel;
+  arrays : (string, int array) Hashtbl.t;
+  scalars : (string, int) Hashtbl.t;
+}
+
+(** Initialise a state: arrays zero-filled then overwritten by [inputs]
+    (wrapped to their element types), [Param]-style scalars set from
+    [params]. Raises [Unbound] for unknown names and [Invalid_argument]
+    for size mismatches. *)
+val init :
+  ?inputs:(string * int array) list ->
+  ?params:(string * int) list ->
+  Ast.kernel ->
+  state
+
+val eval_expr : state -> Ast.expr -> int
+val exec_stmt : state -> Ast.stmt -> unit
+val exec_body : state -> Ast.stmt list -> unit
+
+(** Run a kernel to completion and return the final state. *)
+val run :
+  ?inputs:(string * int array) list ->
+  ?params:(string * int) list ->
+  Ast.kernel ->
+  state
+
+val array_value : state -> string -> int array option
+val scalar_value : state -> string -> int option
+
+(** Final contents of every declared array, in declaration order — the
+    canonical observable for equivalence testing. *)
+val observables : state -> (string * int array) list

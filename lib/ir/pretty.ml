@@ -1,0 +1,121 @@
+(** C-like pretty printer for kernels, used in diagnostics, examples and
+    golden tests. The output parses back through {!Frontend} for source
+    programs (transformed code may contain [rotate_registers], printed in
+    the paper's notation, which the front end also accepts). *)
+
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Min -> "min"
+  | Max -> "max"
+
+(* Precedence levels, greater binds tighter; mirrors C. *)
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Bor -> 3
+  | Bxor -> 4
+  | Band -> 5
+  | Eq | Ne -> 6
+  | Lt | Le | Gt | Ge -> 7
+  | Shl | Shr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+  | Min | Max -> 11
+
+let rec pp_expr_prec p fmt e =
+  match e with
+  | Int n -> Format.fprintf fmt "%d" n
+  | Var v -> Format.pp_print_string fmt v
+  | Arr (a, subs) ->
+      Format.pp_print_string fmt a;
+      List.iter (fun s -> Format.fprintf fmt "[%a]" (pp_expr_prec 0) s) subs
+  | Un (op, a) ->
+      let s = match op with Neg -> "-" | Not -> "!" | Bnot -> "~" | Abs -> "abs" in
+      if op = Abs then Format.fprintf fmt "abs(%a)" (pp_expr_prec 0) a
+      else Format.fprintf fmt "%s%a" s (pp_expr_prec 12) a
+  | Bin ((Min | Max) as op, a, b) ->
+      Format.fprintf fmt "%s(%a, %a)" (binop_str op) (pp_expr_prec 0) a
+        (pp_expr_prec 0) b
+  | Bin (op, a, b) ->
+      let q = prec op in
+      let body fmt () =
+        Format.fprintf fmt "%a %s %a" (pp_expr_prec q) a (binop_str op)
+          (pp_expr_prec (q + 1)) b
+      in
+      if q < p then Format.fprintf fmt "(%a)" body () else body fmt ()
+  | Cond (c, t, e) ->
+      let body fmt () =
+        Format.fprintf fmt "%a ? %a : %a" (pp_expr_prec 1) c (pp_expr_prec 1) t
+          (pp_expr_prec 0) e
+      in
+      if p > 0 then Format.fprintf fmt "(%a)" body () else body fmt ()
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_lvalue fmt = function
+  | Lvar v -> Format.pp_print_string fmt v
+  | Larr (a, subs) ->
+      Format.pp_print_string fmt a;
+      List.iter (fun s -> Format.fprintf fmt "[%a]" pp_expr s) subs
+
+let rec pp_stmt fmt = function
+  | Assign (lv, e) -> Format.fprintf fmt "@[<h>%a = %a;@]" pp_lvalue lv pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_body t
+  | If (c, t, e) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_body t pp_body e
+  | For l ->
+      Format.fprintf fmt
+        "@[<v 2>for (%s = %d; %s < %d; %s += %d) {@,%a@]@,}" l.index l.lo
+        l.index l.hi l.index l.step pp_body l.body
+  | Rotate rs ->
+      Format.fprintf fmt "@[<h>rotate_registers(%a);@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Format.pp_print_string)
+        rs
+
+and pp_body fmt body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt body
+
+let pp_array_decl fmt a =
+  let dims = List.map (Printf.sprintf "[%d]") a.a_dims |> String.concat "" in
+  Format.fprintf fmt "%s %s%s;" (Dtype.to_string a.a_elem) a.a_name dims
+
+let pp_scalar_decl fmt s =
+  Format.fprintf fmt "%s %s;%s" (Dtype.to_string s.s_elem) s.s_name
+    (match s.s_kind with
+    | Register -> " /* register */"
+    | Param -> " /* param */"
+    | Temp -> "")
+
+let pp_kernel fmt k =
+  Format.fprintf fmt "@[<v>/* kernel %s */@," k.k_name;
+  List.iter (fun a -> Format.fprintf fmt "%a@," pp_array_decl a) k.k_arrays;
+  List.iter (fun s -> Format.fprintf fmt "%a@," pp_scalar_decl s) k.k_scalars;
+  pp_body fmt k.k_body;
+  Format.fprintf fmt "@]"
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s
+let kernel_to_string k = Format.asprintf "%a" pp_kernel k

@@ -1,0 +1,15 @@
+(** C-like pretty printer for kernels, used in diagnostics, examples and
+    golden tests. The output parses back through the front end (including
+    the [rotate_registers] construct of transformed code). *)
+
+val binop_str : Ast.binop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_body : Format.formatter -> Ast.stmt list -> unit
+val pp_array_decl : Format.formatter -> Ast.array_decl -> unit
+val pp_scalar_decl : Format.formatter -> Ast.scalar_decl -> unit
+val pp_kernel : Format.formatter -> Ast.kernel -> unit
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val kernel_to_string : Ast.kernel -> string

@@ -1,0 +1,130 @@
+(** Extended kernel gallery: the rest of the application class the paper
+    motivates (Section 2.4 names image correlation, Laplacian operators,
+    erosion/dilation, edge detection) plus other affine staples. These
+    exercise shapes the five benchmarks do not: 2D windows with
+    parameter arrays, pure max/min reductions, boundary-shifted
+    accesses, transposition, and a non-affine access pattern the
+    analyses must reject gracefully. *)
+
+(** 2D image correlation with a 3x3 template. *)
+let corr_src =
+  {|
+  unsigned char img[34][34];
+  short t[3][3];
+  int corr[32][32];
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      for (di = 0; di < 3; di++)
+        for (dj = 0; dj < 3; dj++)
+          corr[i][j] = corr[i][j] + img[i+di][j+dj] * t[di][dj];
+|}
+
+(** 5-point Laplacian operator. *)
+let laplace_src =
+  {|
+  short A[32][32];
+  short L[32][32];
+  for (i = 1; i < 31; i++)
+    for (j = 1; j < 31; j++)
+      L[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1] - 4 * A[i][j];
+|}
+
+(** Grayscale erosion: minimum over a 3x3 window. *)
+let erosion_src =
+  {|
+  unsigned char img[34][34];
+  unsigned char out[32][32];
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      out[i][j] = min(min(min(img[i][j],   img[i][j+1]),
+                          min(img[i][j+2], img[i+1][j])),
+                      min(min(img[i+1][j+1], img[i+1][j+2]),
+                          min(min(img[i+2][j], img[i+2][j+1]), img[i+2][j+2])));
+|}
+
+(** Grayscale dilation: maximum over a 3x3 window. *)
+let dilation_src =
+  {|
+  unsigned char img[34][34];
+  unsigned char out[32][32];
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      out[i][j] = max(max(max(img[i][j],   img[i][j+1]),
+                          max(img[i][j+2], img[i+1][j])),
+                      max(max(img[i+1][j+1], img[i+1][j+2]),
+                          max(max(img[i+2][j], img[i+2][j+1]), img[i+2][j+2])));
+|}
+
+(** 1D convolution (boundary-free inner form). *)
+let conv1d_src =
+  {|
+  short x[80];
+  short h[16];
+  int y[64];
+  for (n = 0; n < 64; n++)
+    for (k = 0; k < 16; k++)
+      y[n] = y[n] + x[n+k] * h[k];
+|}
+
+(** Matrix transpose: pure data movement, no reuse to exploit. *)
+let transpose_src =
+  {|
+  short A[24][16];
+  short B[16][24];
+  for (i = 0; i < 24; i++)
+    for (j = 0; j < 16; j++)
+      B[j][i] = A[i][j];
+|}
+
+(** Box blur with a shift instead of a division. *)
+let boxblur_src =
+  {|
+  unsigned char img[34][34];
+  unsigned char out[32][32];
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      out[i][j] = (img[i][j] + img[i][j+1] + img[i][j+2]
+                 + img[i+1][j] + img[i+1][j+1] + img[i+1][j+2]
+                 + img[i+2][j] + img[i+2][j+1] + img[i+2][j+2]) / 8;
+|}
+
+(** Strided (even/odd) downsample: exercises non-unit access strides. *)
+let downsample_src =
+  {|
+  short x[64];
+  short y[32];
+  for (i = 0; i < 32; i++)
+    y[i] = x[2*i];
+|}
+
+(** Histogram: the subscript is a *data* value — non-affine; every
+    analysis must fall back conservatively (single memory, no
+    replacement) yet the flow must still produce a working design. *)
+let histogram_src =
+  {|
+  unsigned char img[64];
+  short hist[256];
+  for (i = 0; i < 64; i++)
+    hist[img[i]] = hist[img[i]] + 1;
+|}
+
+let parse name src =
+  match Frontend.Parser.kernel_of_string_res ~name src with
+  | Ok k -> k
+  | Error msg -> failwith (Printf.sprintf "gallery kernel %s: %s" name msg)
+
+let all : (string * Ir.Ast.kernel lazy_t) list =
+  [
+    ("corr", lazy (parse "corr" corr_src));
+    ("laplace", lazy (parse "laplace" laplace_src));
+    ("erosion", lazy (parse "erosion" erosion_src));
+    ("dilation", lazy (parse "dilation" dilation_src));
+    ("conv1d", lazy (parse "conv1d" conv1d_src));
+    ("transpose", lazy (parse "transpose" transpose_src));
+    ("boxblur", lazy (parse "boxblur" boxblur_src));
+    ("downsample", lazy (parse "downsample" downsample_src));
+    ("histogram", lazy (parse "histogram" histogram_src));
+  ]
+
+let find name = Option.map Lazy.force (List.assoc_opt name all)
+let names = List.map fst all

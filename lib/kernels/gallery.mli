@@ -1,0 +1,18 @@
+(** Extended kernel gallery: the rest of the application class the paper
+    motivates (image correlation, Laplacian, erosion/dilation, ...), plus
+    affine staples (1D convolution, transpose, strided downsampling) and
+    one deliberately non-affine kernel (histogram) that every analysis
+    must reject gracefully. *)
+
+val corr_src : string
+val laplace_src : string
+val erosion_src : string
+val dilation_src : string
+val conv1d_src : string
+val transpose_src : string
+val boxblur_src : string
+val downsample_src : string
+val histogram_src : string
+val all : (string * Ir.Ast.kernel lazy_t) list
+val find : string -> Ir.Ast.kernel option
+val names : string list

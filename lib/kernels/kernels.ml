@@ -1,0 +1,105 @@
+(** The five multimedia kernels of the paper's evaluation (Section 6.1),
+    with the paper's problem sizes. Each kernel is provided as C-subset
+    source text (exercising the front end exactly as DEFACTO consumed C)
+    and is parsed on first use. *)
+
+open Ir
+
+(** Finite Impulse Response filter: integer multiply-accumulate over 32
+    consecutive elements of a 64-element output — the paper's running
+    example (Figure 1(a)). *)
+let fir_src =
+  {|
+  int S[96];
+  int C[32];
+  int D[64];
+  for (j = 0; j < 64; j++)
+    for (i = 0; i < 32; i++)
+      D[j] = D[j] + (S[i+j] * C[i]);
+|}
+
+(** Integer dense matrix multiply of a 32x16 matrix by a 16x4 matrix. *)
+let mm_src =
+  {|
+  int A[32][16];
+  int B[16][4];
+  int C[32][4];
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 4; j++)
+      for (k = 0; k < 16; k++)
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+|}
+
+(** String pattern matching: character matching operator of a pattern of
+    length 16 over an input string of length 64. *)
+let pat_src =
+  {|
+  unsigned char str[64];
+  unsigned char pat[16];
+  short M[49];
+  for (j = 0; j < 49; j++)
+    for (i = 0; i < 16; i++)
+      M[j] = M[j] + (str[i+j] == pat[i]);
+|}
+
+(** Jacobi iteration: 4-point stencil averaging over a 32x32 array. *)
+let jac_src =
+  {|
+  short A[32][32];
+  short B[32][32];
+  for (i = 1; i < 31; i++)
+    for (j = 1; j < 31; j++)
+      B[i][j] = (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]) / 4;
+|}
+
+(** Sobel edge detection: 3x3 window Laplacian-style operator over an
+    integer image, with magnitude clamping. *)
+let sobel_src =
+  {|
+  unsigned char img[32][32];
+  short edge[32][32];
+  for (i = 1; i < 31; i++)
+    for (j = 1; j < 31; j++)
+      edge[i][j] = min(255,
+        abs((img[i-1][j+1] + 2*img[i][j+1] + img[i+1][j+1])
+          - (img[i-1][j-1] + 2*img[i][j-1] + img[i+1][j-1]))
+        + abs((img[i+1][j-1] + 2*img[i+1][j] + img[i+1][j+1])
+          - (img[i-1][j-1] + 2*img[i-1][j] + img[i-1][j+1])));
+|}
+
+let parse name src =
+  match Frontend.Parser.kernel_of_string_res ~name src with
+  | Ok k -> k
+  | Error msg -> failwith (Printf.sprintf "kernel %s: %s" name msg)
+
+let fir = lazy (parse "fir" fir_src)
+let mm = lazy (parse "mm" mm_src)
+let pat = lazy (parse "pat" pat_src)
+let jac = lazy (parse "jac" jac_src)
+let sobel = lazy (parse "sobel" sobel_src)
+
+let all : (string * Ast.kernel lazy_t) list =
+  [ ("fir", fir); ("mm", mm); ("pat", pat); ("jac", jac); ("sobel", sobel) ]
+
+let find name =
+  match List.assoc_opt (String.lowercase_ascii name) all with
+  | Some k -> Some (Lazy.force k)
+  | None -> None
+
+let names = List.map fst all
+
+(** Deterministic pseudo-random inputs for functional testing: every
+    input array of [k] filled from a simple LCG seeded per array. *)
+let test_inputs ?(seed = 42) (k : Ast.kernel) : (string * int array) list =
+  let lcg state = (state * 1103515245) + 12345 land 0x3FFFFFFF in
+  List.map
+    (fun (a : Ast.array_decl) ->
+      let n = Ast.array_size a in
+      let state = ref (seed + Hashtbl.hash a.a_name) in
+      let data =
+        Array.init n (fun _ ->
+            state := lcg !state;
+            Dtype.wrap a.a_elem (!state lsr 7))
+      in
+      (a.a_name, data))
+    k.k_arrays

@@ -1,0 +1,24 @@
+(** The five multimedia kernels of the paper's evaluation (Section 6.1),
+    at the paper's problem sizes, as C-subset source text parsed through
+    the front end — exactly how DEFACTO consumed C. *)
+
+val fir_src : string  (** FIR filter: 32-tap MAC over a 64-entry output *)
+
+val mm_src : string  (** 32x16 by 16x4 integer matrix multiply *)
+
+val pat_src : string  (** pattern of length 16 over a string of 64 *)
+
+val jac_src : string  (** 4-point Jacobi stencil on 32x32 *)
+
+val sobel_src : string  (** 3x3 Sobel edge detection on 32x32 *)
+
+(** Parsed on first use; name -> kernel. *)
+val all : (string * Ir.Ast.kernel lazy_t) list
+
+val find : string -> Ir.Ast.kernel option
+val names : string list
+
+(** Deterministic pseudo-random inputs for functional testing: every
+    array of the kernel filled from a per-array-seeded LCG, wrapped to
+    its element type. *)
+val test_inputs : ?seed:int -> Ir.Ast.kernel -> (string * int array) list

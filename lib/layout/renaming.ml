@@ -1,0 +1,197 @@
+(** Code-level array renaming: materialise the custom data layout in the
+    IR, as in the paper's final generated code (Figure 1(d), [S0]/[S1],
+    [C0]/[C1], [D2]/[D3]).
+
+    The kernel is first loop-normalized and every array linearized (the
+    paper notes behavioral synthesis requires linearized arrays). An
+    array with [B > 1] virtual banks is split into [B] flat arrays, bank
+    [r] holding the elements congruent to [r] modulo [B]; a (normalized)
+    access with linearized subscript [f + c] is rewritten to bank
+    [c mod B] at subscript [(f + c - (c mod B)) / B]. Splitting an array
+    is abandoned (it stays in one memory) if any access's coefficients
+    are not divisible by [B] — exactly the non-uniform case the paper
+    maps to a single memory.
+
+    [scatter]/[gather] translate array contents between the original and
+    the distributed shapes, so functional equivalence of the rewritten
+    kernel is testable with the reference interpreter. *)
+
+open Ir
+module Access = Analysis.Access
+
+type t = {
+  kernel : Ast.kernel;  (** the rewritten kernel *)
+  layout : Layout.t;  (** layout of the normalized original *)
+  split : (string * string list) list;
+      (** original array -> bank arrays in residue order *)
+}
+
+let bank_name ar r = Printf.sprintf "%s%d" ar r
+
+(** Linearized affine form of a subscript list under a declaration,
+    assuming normalized (lo=0) loops so the residue is the constant part
+    mod [b]. *)
+let lin_form (decl : Ast.array_decl) subs : Affine.t option =
+  let affs = List.map Affine.of_expr subs in
+  if List.exists Option.is_none affs then None
+  else begin
+    let rec go dims affs acc =
+      match (dims, affs) with
+      | [], [] -> Some acc
+      | _ :: rest_dims, Some f :: rest ->
+          let stride = List.fold_left ( * ) 1 rest_dims in
+          go rest_dims rest (Affine.add acc (Affine.scale stride f))
+      | _ -> None
+    in
+    if List.length decl.a_dims <> List.length subs then None
+    else go decl.a_dims affs Affine.zero
+  end
+
+let divisible f b =
+  List.for_all (fun v -> Affine.coeff f v mod b = 0) (Affine.vars f)
+
+(** Split plan per array: the largest bank count not exceeding the
+    layout's choice for which the linearized rewrite stays affine (every
+    coefficient divisible). Steady-state layouts may use more banks than
+    the rewrite can express; the code level then settles for fewer. *)
+let plan (k : Ast.kernel) (layout : Layout.t) (accesses : Access.t list) :
+    (string * int) list =
+  List.map
+    (fun (ar, b) ->
+      if b <= 1 then (ar, 1)
+      else
+        match Ast.find_array k ar with
+        | None -> (ar, 1)
+        | Some decl ->
+            let feasible b' =
+              List.for_all
+                (fun (a : Access.t) ->
+                  if a.array <> ar then true
+                  else
+                    match lin_form decl a.subs with
+                    | Some f -> divisible f b'
+                    | None -> false)
+                accesses
+            in
+            let rec best b' =
+              if b' <= 1 then 1 else if feasible b' then b' else best (b' - 1)
+            in
+            (ar, best b))
+    layout.Layout.banks
+
+let rewrite_expr k plans e =
+  match e with
+  | Ast.Arr (ar, subs) -> (
+      match (Ast.find_array k ar, List.assoc_opt ar plans) with
+      | Some decl, Some b -> (
+          match lin_form decl subs with
+          | Some f when b > 1 ->
+              let c = Affine.const_part f in
+              let r = ((c mod b) + b) mod b in
+              let f' =
+                Affine.make
+                  (List.map (fun v -> (v, Affine.coeff f v / b)) (Affine.vars f))
+                  ((c - r) / b)
+              in
+              Ast.Arr (bank_name ar r, [ Affine.to_expr f' ])
+          | Some f ->
+              (* linearize even unsplit arrays *)
+              if List.length decl.a_dims > 1 then Ast.Arr (ar, [ Affine.to_expr f ])
+              else e
+          | None -> e)
+      | _ -> e)
+  | e -> e
+
+let rec rewrite_stmt k plans (s : Ast.stmt) : Ast.stmt =
+  let rw_e = Ast.map_expr (rewrite_expr k plans) in
+  match s with
+  | Ast.Assign (lv, e) ->
+      let lv =
+        match lv with
+        | Ast.Lvar _ -> lv
+        | Ast.Larr (ar, subs) -> (
+            let subs = List.map rw_e subs in
+            match rewrite_expr k plans (Ast.Arr (ar, subs)) with
+            | Ast.Arr (ar', subs') -> Ast.Larr (ar', subs')
+            | _ -> Ast.Larr (ar, subs))
+      in
+      Ast.Assign (lv, rw_e e)
+  | Ast.If (c, t, e) ->
+      Ast.If (rw_e c, List.map (rewrite_stmt k plans) t, List.map (rewrite_stmt k plans) e)
+  | Ast.For l -> Ast.For { l with body = List.map (rewrite_stmt k plans) l.body }
+  | Ast.Rotate rs -> Ast.Rotate rs
+
+(* Bank sizes: elements congruent to r mod b within [0, size). *)
+let bank_extent ~size ~b ~r = if size <= r then 0 else ((size - 1 - r) / b) + 1
+
+(** Apply the layout to a kernel. The input is loop-normalized first. *)
+let rewrite ~num_memories (k : Ast.kernel) : t =
+  let k = Transform.Normalize.run k in
+  let accesses = Access.collect k.k_body in
+  let layout = Layout.assign ~num_memories k accesses in
+  let plans = plan k layout accesses in
+  let body = List.map (rewrite_stmt k plans) k.k_body in
+  let arrays =
+    List.concat_map
+      (fun (a : Ast.array_decl) ->
+        let size = Ast.array_size a in
+        match List.assoc_opt a.a_name plans with
+        | Some b when b > 1 ->
+            List.init b (fun r ->
+                {
+                  Ast.a_name = bank_name a.a_name r;
+                  a_elem = a.a_elem;
+                  a_dims = [ max 1 (bank_extent ~size ~b ~r) ];
+                })
+        | _ -> [ { a with Ast.a_dims = [ size ] } ])
+      k.k_arrays
+  in
+  let split =
+    List.filter_map
+      (fun (ar, b) ->
+        if b > 1 then Some (ar, List.init b (bank_name ar)) else None)
+      plans
+  in
+  let kernel = Transform.Simplify.run { k with Ast.k_body = body; k_arrays = arrays } in
+  { kernel; layout; split }
+
+(** Translate original array contents to the distributed arrays. *)
+let scatter (t : t) (k_orig : Ast.kernel) (inputs : (string * int array) list) :
+    (string * int array) list =
+  List.concat_map
+    (fun (name, data) ->
+      match List.assoc_opt name t.split with
+      | None -> [ (name, data) ]
+      | Some banks ->
+          let b = List.length banks in
+          ignore k_orig;
+          List.mapi
+            (fun r bank ->
+              let n = bank_extent ~size:(Array.length data) ~b ~r in
+              (bank, Array.init n (fun q -> data.((q * b) + r))))
+            banks)
+    inputs
+
+(** Reassemble original arrays from distributed observables. *)
+let gather (t : t) (k_orig : Ast.kernel) (outputs : (string * int array) list) :
+    (string * int array) list =
+  List.map
+    (fun (a : Ast.array_decl) ->
+      let size = Ast.array_size a in
+      match List.assoc_opt a.a_name t.split with
+      | None -> (
+          ( a.a_name,
+            match List.assoc_opt a.a_name outputs with
+            | Some d -> d
+            | None -> Array.make size 0 ))
+      | Some banks ->
+          let b = List.length banks in
+          let data = Array.make size 0 in
+          List.iteri
+            (fun r bank ->
+              match List.assoc_opt bank outputs with
+              | None -> ()
+              | Some bd -> Array.iteri (fun q v -> data.((q * b) + r) <- v) bd)
+            banks;
+          (a.a_name, data))
+    k_orig.k_arrays

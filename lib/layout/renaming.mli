@@ -1,0 +1,35 @@
+(** Code-level array renaming: materialise the custom data layout in the
+    IR, as in the paper's final generated code (Figure 1(d): [S0]/[S1],
+    [C0]/[C1], [D2]/[D3]).
+
+    The kernel is loop-normalized and every array linearized (the paper
+    notes behavioral synthesis requires linearized arrays). An array with
+    [B > 1] banks splits into [B] flat arrays, bank [r] holding the
+    elements congruent to [r] modulo [B]. When the layout's bank count is
+    not expressible as an affine rewrite (coefficients not divisible),
+    the split falls back to the largest feasible divisor, down to a
+    single memory — the paper's treatment of non-uniformly generated
+    accesses. *)
+
+open Ir
+
+type t = {
+  kernel : Ast.kernel;  (** the rewritten kernel *)
+  layout : Layout.t;  (** layout of the normalized original *)
+  split : (string * string list) list;
+      (** original array -> bank arrays in residue order *)
+}
+
+val bank_name : string -> int -> string
+
+(** Apply the layout to a (transformed) kernel. *)
+val rewrite : num_memories:int -> Ast.kernel -> t
+
+(** Translate original array contents to the distributed arrays, and
+    back; [scatter]/[gather] make the rewritten kernel testable against
+    the reference interpreter. *)
+val scatter :
+  t -> Ast.kernel -> (string * int array) list -> (string * int array) list
+
+val gather :
+  t -> Ast.kernel -> (string * int array) list -> (string * int array) list

@@ -1,0 +1,110 @@
+(** Loop-invariant code motion for pure expressions.
+
+    Hoists non-trivial subexpressions that are invariant with respect to a
+    loop into fresh temporaries computed before the loop. Array reads are
+    hoistable only when no write in the loop may touch the array (the
+    invariant-access *memory* motion with store sinking lives in
+    {!Scalar_replace}, which also handles the write side). *)
+
+open Ir
+open Ast
+
+let scalars_assigned_in body =
+  Ast.fold_stmts
+    ~stmt:(fun acc s ->
+      match s with
+      | Assign (Lvar v, _) -> v :: acc
+      | Rotate rs -> rs @ acc
+      | _ -> acc)
+    ~expr:(fun acc _ -> acc)
+    [] body
+
+let arrays_written_in body =
+  Ast.fold_stmts
+    ~stmt:(fun acc s ->
+      match s with Assign (Larr (a, _), _) -> a :: acc | _ -> acc)
+    ~expr:(fun acc _ -> acc)
+    [] body
+
+(** Is [e] invariant in the loop and side-effect free? Indices of loops
+    nested inside also vary per iteration, so they count as variant. *)
+let invariant ~variant ~assigned ~written e =
+  let rec go e =
+    match e with
+    | Int _ -> true
+    | Var v -> (not (List.mem v variant)) && not (List.mem v assigned)
+    | Arr (a, subs) -> (not (List.mem a written)) && List.for_all go subs
+    | Bin (_, a, b) -> go a && go b
+    | Un (_, a) -> go a
+    | Cond (c, t, e) -> go c && go t && go e
+  in
+  go e
+
+(** Worth hoisting: anything costlier than a leaf or a leaf-plus-constant. *)
+let non_trivial e =
+  match e with
+  | Int _ | Var _ -> false
+  | Bin ((Add | Sub), Var _, Int _) -> false
+  | _ -> true
+
+let run (k : kernel) : kernel =
+  let names = Names.of_kernel k in
+  let new_scalars = ref [] in
+  let declare ty =
+    let v = Names.fresh names "t" in
+    new_scalars := { s_name = v; s_elem = ty; s_kind = Temp } :: !new_scalars;
+    v
+  in
+  (* Innermost-first over statement lists, so that an expression hoisted
+     out of the inner loop can be hoisted again out of the outer one. *)
+  let rec body_stmts (body : stmt list) : stmt list =
+    List.concat_map
+      (fun s ->
+        match s with
+        | For l ->
+            let l = { l with body = body_stmts l.body } in
+            let pre, l = hoist_out l in
+            pre @ [ For l ]
+        | If (c, t, e) -> [ If (c, body_stmts t, body_stmts e) ]
+        | Assign _ | Rotate _ -> [ s ])
+      body
+  and hoist_out (l : loop) : stmt list * loop =
+    let assigned = scalars_assigned_in l.body in
+    let written = arrays_written_in l.body in
+    let variant = l.index :: Ast.bound_indices l.body in
+    let hoisted = ref [] in
+    let rec rewrite e =
+      if non_trivial e && invariant ~variant ~assigned ~written e then begin
+        match List.assoc_opt e !hoisted with
+        | Some v -> Var v
+        | None ->
+            let v = declare (Ast.result_type k e) in
+            hoisted := (e, v) :: !hoisted;
+            Var v
+      end
+      else
+        match e with
+        | Int _ | Var _ -> e
+        | Arr (a, subs) -> Arr (a, List.map rewrite subs)
+        | Bin (op, a, b) -> Bin (op, rewrite a, rewrite b)
+        | Un (op, a) -> Un (op, rewrite a)
+        | Cond (c, t, e') -> Cond (rewrite c, rewrite t, rewrite e')
+    in
+    let rec rw_stmt s =
+      match s with
+      | Assign (Lvar v, e) -> Assign (Lvar v, rewrite e)
+      | Assign (Larr (a, subs), e) ->
+          Assign (Larr (a, List.map rewrite subs), rewrite e)
+      | If (c, t, e) -> If (rewrite c, List.map rw_stmt t, List.map rw_stmt e)
+      | For inner ->
+          (* Inner loops were processed on the way up; expressions that
+             could leave them already sit directly in this body. *)
+          For inner
+      | Rotate rs -> Rotate rs
+    in
+    let body = List.map rw_stmt l.body in
+    let pre = List.rev_map (fun (e, v) -> Assign (Lvar v, e)) !hoisted in
+    (pre, { l with body })
+  in
+  let body = body_stmts k.k_body in
+  { k with k_body = body; k_scalars = k.k_scalars @ List.rev !new_scalars }

@@ -1,0 +1,30 @@
+(** Fresh-name generation that avoids every identifier already present in
+    a kernel (arrays, scalars, loop indices). *)
+
+open Ir
+
+type t = { mutable used : (string, unit) Hashtbl.t }
+
+let of_kernel (k : Ast.kernel) : t =
+  let used = Hashtbl.create 64 in
+  List.iter (fun (a : Ast.array_decl) -> Hashtbl.replace used a.a_name ()) k.k_arrays;
+  List.iter (fun (s : Ast.scalar_decl) -> Hashtbl.replace used s.s_name ()) k.k_scalars;
+  List.iter (fun i -> Hashtbl.replace used i ()) (Ast.bound_indices k.k_body);
+  { used }
+
+let reserve t name = Hashtbl.replace t.used name ()
+
+(** [fresh t base] returns [base] if unused, otherwise [base_0], [base_1], ...
+    The result is reserved. *)
+let fresh t base =
+  let name =
+    if not (Hashtbl.mem t.used base) then base
+    else
+      let rec go n =
+        let cand = Printf.sprintf "%s_%d" base n in
+        if Hashtbl.mem t.used cand then go (n + 1) else cand
+      in
+      go 0
+  in
+  reserve t name;
+  name

@@ -1,0 +1,11 @@
+(** Fresh-name generation that avoids every identifier already present in
+    a kernel (arrays, scalars, loop indices). *)
+
+type t
+
+val of_kernel : Ir.Ast.kernel -> t
+val reserve : t -> string -> unit
+
+(** [fresh t base] returns [base] if unused, otherwise [base_0],
+    [base_1], ... The result is reserved. *)
+val fresh : t -> string -> string

@@ -1,0 +1,29 @@
+(** Loop normalization: rewrite every loop to run from 0 with stride 1,
+    substituting [index := lo + step*index] in the body (the paper's final
+    generated code, Figure 1(d), is normalized). Custom data layout
+    requires it: after normalization the distribution modulus divides
+    every subscript coefficient. *)
+
+open Ir
+open Ast
+
+let rec norm_stmt (s : stmt) : stmt =
+  match s with
+  | For l ->
+      let trip = Ast.loop_trip l in
+      if l.lo = 0 && l.step = 1 then For { l with body = List.map norm_stmt l.body }
+      else begin
+        let body =
+          Ast.subst_var l.index
+            (Bin (Add, Int l.lo, Bin (Mul, Int l.step, Var l.index)))
+            l.body
+        in
+        For
+          { index = l.index; lo = 0; hi = trip; step = 1;
+            body = List.map norm_stmt body }
+      end
+  | If (c, t, e) -> If (c, List.map norm_stmt t, List.map norm_stmt e)
+  | Assign _ | Rotate _ -> s
+
+let run (k : kernel) : kernel =
+  Simplify.run { k with k_body = List.map norm_stmt k.k_body }

@@ -1,0 +1,6 @@
+(** Loop normalization: rewrite every loop to run from 0 with stride 1,
+    substituting [index := lo + step*index] in the body. Custom data
+    layout requires it: after normalization the distribution modulus
+    divides every subscript coefficient. *)
+
+val run : Ir.Ast.kernel -> Ir.Ast.kernel

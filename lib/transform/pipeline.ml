@@ -1,0 +1,69 @@
+(** The code-transformation pipeline applied to every design point the
+    search visits: unroll-and-jam at the candidate unroll vector, scalar
+    replacement, loop peeling to specialise first-iteration loads, LICM,
+    and cleanup simplification (Figure 3 of the paper; data layout is a
+    separate stage, see {!Layout}). *)
+
+open Ir
+
+type options = {
+  vector : Unroll.vector;
+  scalar : Scalar_replace.config;
+  peel : bool;  (** peel carrier / leading iterations to despecialise guards *)
+  licm : bool;
+  tile : (string * int) option;
+      (** strip-mine this loop to the given tile before replacement
+          (register-pressure control, Section 5.4) *)
+}
+
+let default =
+  {
+    vector = [];
+    scalar = Scalar_replace.default_config;
+    peel = true;
+    licm = true;
+    tile = None;
+  }
+
+type result = {
+  kernel : Ast.kernel;
+  report : Scalar_replace.report;
+  options : options;
+}
+
+let apply (opts : options) (k : Ast.kernel) : result =
+  let k = match opts.tile with
+    | Some (index, tile) -> Tiling.tile_for_registers ~index ~tile k
+    | None -> k
+  in
+  let k = Unroll.run opts.vector k in
+  let k, report = Scalar_replace.run ~config:opts.scalar k in
+  let k =
+    if not opts.peel then k
+    else begin
+      (* Peel leading iterations of the innermost loop first (while the
+         spine is still intact) to strip the chain refill guards; peeling
+         replicates the innermost body, so bound it to small counts. *)
+      let k =
+        if report.innermost_peels > 0 && report.innermost_peels <= 4 then begin
+          let rec peel_n n k =
+            if n = 0 then k
+            else
+              match List.rev (Loop_nest.spine k.Ast.k_body) with
+              | [] -> k
+              | inner :: _ -> peel_n (n - 1) (Peel.run ~index:inner.index k)
+          in
+          peel_n report.innermost_peels k
+        end
+        else k
+      in
+      (* Then peel the first iteration of every bank carrier. *)
+      let k =
+        List.fold_left (fun k index -> Peel.run ~index k) k report.carriers
+      in
+      Simplify.fold_ranges k
+    end
+  in
+  let k = if opts.licm then Licm.run k else k in
+  let k = Simplify.run k in
+  { kernel = k; report; options = opts }

@@ -1,0 +1,27 @@
+(** The code-transformation pipeline applied to every design point the
+    search visits: optional tiling, unroll-and-jam at the candidate
+    vector, scalar replacement, loop peeling to specialise the
+    first-iteration guards, LICM, and cleanup simplification (Figure 3 of
+    the paper; data layout is a separate stage, see {!Data_layout}). *)
+
+open Ir
+
+type options = {
+  vector : Unroll.vector;
+  scalar : Scalar_replace.config;
+  peel : bool;  (** peel carrier / leading iterations to remove guards *)
+  licm : bool;
+  tile : (string * int) option;
+      (** strip-mine this loop to the given tile before replacement
+          (register-pressure control, Section 5.4) *)
+}
+
+val default : options
+
+type result = {
+  kernel : Ast.kernel;
+  report : Scalar_replace.report;
+  options : options;
+}
+
+val apply : options -> Ast.kernel -> result

@@ -1,0 +1,169 @@
+(** Constant folding and algebraic simplification.
+
+    Unrolling substitutes [i + k] into subscripts, producing shapes like
+    [(i + 0)] and [2 * (i + 1)]; simplification restores the compact
+    affine forms every later pass pattern-matches on. Branches with
+    constant conditions (left behind by peeling) are folded away. *)
+
+open Ir
+open Ast
+
+let rec fold_expr (e : expr) : expr =
+  match e with
+  | Int _ | Var _ -> e
+  | Arr (a, subs) -> Arr (a, List.map fold_expr subs)
+  | Un (op, a) -> (
+      let a = fold_expr a in
+      match (op, a) with
+      | Neg, Int n -> Int (-n)
+      | Not, Int n -> Int (if n = 0 then 1 else 0)
+      | Bnot, Int n -> Int (lnot n)
+      | Abs, Int n -> Int (abs n)
+      | Neg, Un (Neg, x) -> x
+      | _ -> Un (op, a))
+  | Cond (c, t, el) -> (
+      let c = fold_expr c in
+      match c with
+      | Int 0 -> fold_expr el
+      | Int _ -> fold_expr t
+      | _ -> Cond (c, fold_expr t, fold_expr el))
+  | Bin (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      | Add, Int x, Int y -> Int (x + y)
+      | Sub, Int x, Int y -> Int (x - y)
+      | Mul, Int x, Int y -> Int (x * y)
+      | Div, Int x, Int y when y <> 0 -> Int (x / y)
+      | Mod, Int x, Int y when y <> 0 -> Int (x mod y)
+      | Lt, Int x, Int y -> Int (if x < y then 1 else 0)
+      | Le, Int x, Int y -> Int (if x <= y then 1 else 0)
+      | Gt, Int x, Int y -> Int (if x > y then 1 else 0)
+      | Ge, Int x, Int y -> Int (if x >= y then 1 else 0)
+      | Eq, Int x, Int y -> Int (if x = y then 1 else 0)
+      | Ne, Int x, Int y -> Int (if x <> y then 1 else 0)
+      | And, Int x, Int y -> Int (if x <> 0 && y <> 0 then 1 else 0)
+      | Or, Int x, Int y -> Int (if x <> 0 || y <> 0 then 1 else 0)
+      | Band, Int x, Int y -> Int (x land y)
+      | Bor, Int x, Int y -> Int (x lor y)
+      | Bxor, Int x, Int y -> Int (x lxor y)
+      | Shl, Int x, Int y when y >= 0 -> Int (x lsl y)
+      | Shr, Int x, Int y when y >= 0 -> Int (x asr y)
+      | Min, Int x, Int y -> Int (min x y)
+      | Max, Int x, Int y -> Int (max x y)
+      | Add, x, Int 0 | Add, Int 0, x -> x
+      | Sub, x, Int 0 -> x
+      | Mul, _, Int 0 | Mul, Int 0, _ -> Int 0
+      | Mul, x, Int 1 | Mul, Int 1, x -> x
+      | Div, x, Int 1 -> x
+      | And, x, Int n when n <> 0 -> x
+      | And, Int n, x when n <> 0 -> x
+      | And, _, Int 0 | And, Int 0, _ -> Int 0
+      | Or, x, Int 0 | Or, Int 0, x -> x
+      (* Re-associate constants: (x + c1) + c2 and (x + c1) - c2 etc. *)
+      | Add, Bin (Add, x, Int c1), Int c2 -> fold_expr (Bin (Add, x, Int (c1 + c2)))
+      | Add, Bin (Sub, x, Int c1), Int c2 -> fold_expr (Bin (Add, x, Int (c2 - c1)))
+      | Sub, Bin (Add, x, Int c1), Int c2 -> fold_expr (Bin (Add, x, Int (c1 - c2)))
+      | Sub, Bin (Sub, x, Int c1), Int c2 -> fold_expr (Bin (Sub, x, Int (c1 + c2)))
+      | _ -> Bin (op, a, b))
+
+(** Normalise an expression through its affine form when possible — the
+    canonical shape later passes compare syntactically. *)
+let canon_expr e =
+  let e = fold_expr e in
+  match Affine.of_expr e with Some f -> Affine.to_expr f | None -> e
+
+let rec simpl_stmt (s : stmt) : stmt list =
+  match s with
+  | Assign (lv, e) ->
+      let lv =
+        match lv with
+        | Lvar _ -> lv
+        | Larr (a, subs) -> Larr (a, List.map canon_expr subs)
+      in
+      [ Assign (lv, map_expr canon_expr e) ]
+  | If (c, t, el) -> (
+      let c = map_expr canon_expr c in
+      let t = simpl_body t and el = simpl_body el in
+      match c with
+      | Int 0 -> el
+      | Int _ -> t
+      | _ -> if t = [] && el = [] then [] else [ If (c, t, el) ])
+  | For l ->
+      let trip = Ast.loop_trip l in
+      if trip = 0 then []
+      else if trip = 1 then
+        (* Single-iteration loops are inlined so that analyses see their
+           body's subscripts as constants in the index. *)
+        simpl_body (Ast.subst_var l.index (Int l.lo) l.body)
+      else [ For { l with body = simpl_body l.body } ]
+  | Rotate rs -> [ Rotate rs ]
+
+and simpl_body body = List.concat_map simpl_stmt body
+
+let run (k : Ast.kernel) : Ast.kernel = { k with k_body = simpl_body k.k_body }
+
+(* ------------------------------------------------------------------ *)
+(* Range-based folding *)
+
+(** Fold comparisons between a loop index and a constant using the
+    enclosing loop's bounds: with [i] in [lo, hi), [i < c] is true when
+    [hi <= c] and false when [c <= lo], and so on. Peeling shifts loop
+    bounds, which is what turns the first-iteration guards of scalar
+    replacement ([i == lo], [i < lo + d]) into constants. *)
+let fold_ranges (k : Ast.kernel) : Ast.kernel =
+  let decide env v op c =
+    match List.assoc_opt v env with
+    | None -> None
+    | Some (lo, hi) ->
+        if hi <= lo then None
+        else begin
+          let last = hi - 1 in
+          (* conservative: ignore stride, use [lo, hi) *)
+          match op with
+          | Lt -> if last < c then Some 1 else if lo >= c then Some 0 else None
+          | Le -> if last <= c then Some 1 else if lo > c then Some 0 else None
+          | Gt -> if lo > c then Some 1 else if last <= c then Some 0 else None
+          | Ge -> if lo >= c then Some 1 else if last < c then Some 0 else None
+          | Eq ->
+              if c < lo || c > last then Some 0
+              else if lo = last && c = lo then Some 1
+              else None
+          | Ne ->
+              if c < lo || c > last then Some 1
+              else if lo = last && c = lo then Some 0
+              else None
+          | _ -> None
+        end
+  in
+  let flip = function
+    | Lt -> Gt
+    | Le -> Ge
+    | Gt -> Lt
+    | Ge -> Le
+    | op -> op
+  in
+  let rec fold_e env e =
+    match e with
+    | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), Var v, Int c) -> (
+        match decide env v op c with Some r -> Int r | None -> e)
+    | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), Int c, Var v) -> (
+        match decide env v (flip op) c with Some r -> Int r | None -> e)
+    | Int _ | Var _ -> e
+    | Arr (a, subs) -> Arr (a, List.map (fold_e env) subs)
+    | Bin (op, a, b) -> Bin (op, fold_e env a, fold_e env b)
+    | Un (op, a) -> Un (op, fold_e env a)
+    | Cond (c, t, e') -> Cond (fold_e env c, fold_e env t, fold_e env e')
+  in
+  let rec fold_s env s =
+    match s with
+    | Assign (Lvar v, e) -> Assign (Lvar v, fold_e env e)
+    | Assign (Larr (a, subs), e) ->
+        Assign (Larr (a, List.map (fold_e env) subs), fold_e env e)
+    | If (c, t, e) ->
+        If (fold_e env c, List.map (fold_s env) t, List.map (fold_s env) e)
+    | For l ->
+        let env' = (l.index, (l.lo, l.hi)) :: env in
+        For { l with body = List.map (fold_s env') l.body }
+    | Rotate rs -> Rotate rs
+  in
+  run { k with k_body = List.map (fold_s []) k.k_body }

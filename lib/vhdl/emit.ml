@@ -1,0 +1,248 @@
+(** Behavioral VHDL emission — the system's SUIF2VHDL stage (Figure 3 of
+    the paper).
+
+    The transformed kernel is emitted as one entity whose architecture
+    holds a single clocked process: array variables carry a
+    [map_to_memory] directive naming the physical memory chosen by the
+    data layout, compiler registers become process variables, loops
+    become VHDL [for] loops, and register rotation becomes the parallel
+    shift sequence. Behavioral synthesis tools of the Monet generation
+    consumed exactly this style: untimed sequential statements over
+    integer variables, with binding/allocation/scheduling left to the
+    tool. *)
+
+open Ir
+module Access = Analysis.Access
+
+let type_name (d : Dtype.t) =
+  Printf.sprintf "%s%d" (if Dtype.is_signed d then "int" else "uint") (Dtype.bits d)
+
+let binop_vhdl : Ast.binop -> string option = function
+  | Ast.Add -> Some "+"
+  | Ast.Sub -> Some "-"
+  | Ast.Mul -> Some "*"
+  | Ast.Div -> Some "/"
+  | Ast.Mod -> Some "mod"
+  | _ -> None
+
+let cmp_vhdl : Ast.binop -> string option = function
+  | Ast.Lt -> Some "<"
+  | Ast.Le -> Some "<="
+  | Ast.Gt -> Some ">"
+  | Ast.Ge -> Some ">="
+  | Ast.Eq -> Some "="
+  | Ast.Ne -> Some "/="
+  | _ -> None
+
+(** Value-position expression (integer-typed in VHDL). *)
+let rec pp_expr fmt (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Format.fprintf fmt "%d" n
+  | Ast.Var v -> Format.pp_print_string fmt v
+  | Ast.Arr (a, subs) ->
+      Format.fprintf fmt "%s(%a)" a
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        subs
+  | Ast.Bin (op, a, b) -> (
+      match binop_vhdl op with
+      | Some s -> Format.fprintf fmt "(%a %s %a)" pp_expr a s pp_expr b
+      | None -> (
+          match cmp_vhdl op with
+          | Some s -> Format.fprintf fmt "b2i(%a %s %a)" pp_expr a s pp_expr b
+          | None -> (
+              match op with
+              | Ast.Min -> Format.fprintf fmt "imin(%a, %a)" pp_expr a pp_expr b
+              | Ast.Max -> Format.fprintf fmt "imax(%a, %a)" pp_expr a pp_expr b
+              | Ast.And -> Format.fprintf fmt "b2i(%a and %a)" pp_bool a pp_bool b
+              | Ast.Or -> Format.fprintf fmt "b2i(%a or %a)" pp_bool a pp_bool b
+              | Ast.Shl -> Format.fprintf fmt "shl(%a, %a)" pp_expr a pp_expr b
+              | Ast.Shr -> Format.fprintf fmt "shr(%a, %a)" pp_expr a pp_expr b
+              | Ast.Band -> Format.fprintf fmt "iand(%a, %a)" pp_expr a pp_expr b
+              | Ast.Bor -> Format.fprintf fmt "ior(%a, %a)" pp_expr a pp_expr b
+              | Ast.Bxor -> Format.fprintf fmt "ixor(%a, %a)" pp_expr a pp_expr b
+              | _ -> assert false)))
+  | Ast.Un (Ast.Neg, a) -> Format.fprintf fmt "(-%a)" pp_expr a
+  | Ast.Un (Ast.Abs, a) -> Format.fprintf fmt "abs(%a)" pp_expr a
+  | Ast.Un (Ast.Not, a) -> Format.fprintf fmt "b2i(not %a)" pp_bool a
+  | Ast.Un (Ast.Bnot, a) -> Format.fprintf fmt "inot(%a)" pp_expr a
+  | Ast.Cond (c, t, e') ->
+      Format.fprintf fmt "sel(%a, %a, %a)" pp_bool c pp_expr t pp_expr e'
+
+(** Boolean-position expression (VHDL conditions). *)
+and pp_bool fmt (e : Ast.expr) =
+  match e with
+  | Ast.Bin (op, a, b) when cmp_vhdl op <> None ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a
+        (Option.get (cmp_vhdl op))
+        pp_expr b
+  | Ast.Bin (Ast.And, a, b) -> Format.fprintf fmt "(%a and %a)" pp_bool a pp_bool b
+  | Ast.Bin (Ast.Or, a, b) -> Format.fprintf fmt "(%a or %a)" pp_bool a pp_bool b
+  | Ast.Un (Ast.Not, a) -> Format.fprintf fmt "(not %a)" pp_bool a
+  | e -> Format.fprintf fmt "(%a /= 0)" pp_expr e
+
+let rec pp_stmt fmt (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (Ast.Lvar v, e) -> Format.fprintf fmt "@[<h>%s := %a;@]" v pp_expr e
+  | Ast.Assign (Ast.Larr (a, subs), e) ->
+      Format.fprintf fmt "@[<h>%s(%a) := %a;@]" a
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        subs pp_expr e
+  | Ast.If (c, t, []) ->
+      Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,end if;" pp_bool c pp_body t
+  | Ast.If (c, t, e) ->
+      Format.fprintf fmt "@[<v 2>if %a then@,%a@]@,@[<v 2>else@,%a@]@,end if;"
+        pp_bool c pp_body t pp_body e
+  | Ast.For l ->
+      if l.step = 1 then
+        Format.fprintf fmt "@[<v 2>for %s in %d to %d loop@,%a@]@,end loop;"
+          l.index l.lo (l.hi - 1) pp_body l.body
+      else begin
+        (* VHDL for-loops are unit stride; iterate the trip count and
+           derive the index. *)
+        let trip = Ast.loop_trip l in
+        Format.fprintf fmt
+          "@[<v 2>for %s_it in 0 to %d loop@,%s := %d + %s_it * %d;@,%a@]@,end loop;"
+          l.index (trip - 1) l.index l.lo l.index l.step pp_body l.body
+      end
+  | Ast.Rotate [] -> ()
+  | Ast.Rotate (r0 :: rest as rs) ->
+      Format.fprintf fmt "@[<v>rot_tmp := %s;@," r0;
+      List.iteri
+        (fun i r ->
+          let next = try List.nth rs (i + 1) with _ -> "" in
+          if next <> "" then Format.fprintf fmt "%s := %s;@," r next)
+        (r0 :: rest);
+      let last = List.nth rs (List.length rs - 1) in
+      Format.fprintf fmt "%s := rot_tmp;@]" last
+
+and pp_body fmt body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt body
+
+let needs_rot_tmp body =
+  Ast.fold_stmts
+    ~stmt:(fun acc s -> acc || match s with Ast.Rotate _ -> true | _ -> false)
+    ~expr:(fun acc _ -> acc)
+    false body
+
+(** Loops whose VHDL form needs an explicit index variable (non-unit
+    stride). *)
+let strided_indices body =
+  Ast.fold_stmts
+    ~stmt:(fun acc s ->
+      match s with
+      | Ast.For l when l.step <> 1 -> l.index :: acc
+      | _ -> acc)
+    ~expr:(fun acc _ -> acc)
+    [] body
+  |> List.sort_uniq String.compare
+
+let support_package = {|library IEEE;
+use IEEE.std_logic_1164.all;
+
+package defacto_support is
+  function b2i(b : boolean) return integer;
+  function sel(b : boolean; t, e : integer) return integer;
+  function imin(a, b : integer) return integer;
+  function imax(a, b : integer) return integer;
+end package;
+
+package body defacto_support is
+  function b2i(b : boolean) return integer is
+  begin
+    if b then return 1; else return 0; end if;
+  end function;
+  function sel(b : boolean; t, e : integer) return integer is
+  begin
+    if b then return t; else return e; end if;
+  end function;
+  function imin(a, b : integer) return integer is
+  begin
+    if a < b then return a; else return b; end if;
+  end function;
+  function imax(a, b : integer) return integer is
+  begin
+    if a > b then return a; else return b; end if;
+  end function;
+end package body;
+|}
+
+(** Emit the full design: support package, entity, and one behavioral
+    process. [memory_of_array] names the physical memory of each array
+    (from the data layout); omitted arrays get memory 0. *)
+let emit ?(memory_of_array : (string * int) list = []) (k : Ast.kernel) : string
+    =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "%s@." support_package;
+  Format.fprintf fmt
+    "library IEEE;@.use IEEE.std_logic_1164.all;@.use work.defacto_support.all;@.@.";
+  Format.fprintf fmt "entity %s is@." k.k_name;
+  Format.fprintf fmt
+    "  port (clk : in std_logic; start : in std_logic; done : out std_logic);@.";
+  Format.fprintf fmt "end entity %s;@.@." k.k_name;
+  Format.fprintf fmt "architecture behavioral of %s is@." k.k_name;
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      let size = Ast.array_size a in
+      let mem = Option.value ~default:0 (List.assoc_opt a.a_name memory_of_array) in
+      Format.fprintf fmt
+        "  type %s_t is array (0 to %d) of integer range %d to %d;@."
+        a.a_name (size - 1)
+        (fst (Dtype.range a.a_elem))
+        (snd (Dtype.range a.a_elem));
+      Format.fprintf fmt
+        "  shared variable %s : %s_t; -- pragma map_to_memory mem%d (%s)@."
+        a.a_name a.a_name mem (type_name a.a_elem))
+    k.k_arrays;
+  Format.fprintf fmt "begin@.";
+  Format.fprintf fmt "  main : process@.";
+  List.iter
+    (fun (s : Ast.scalar_decl) ->
+      Format.fprintf fmt "    variable %s : integer range %d to %d := 0;%s@."
+        s.s_name
+        (fst (Dtype.range s.s_elem))
+        (snd (Dtype.range s.s_elem))
+        (match s.s_kind with
+        | Ast.Register -> " -- register (scalar replacement)"
+        | Ast.Param -> " -- parameter"
+        | Ast.Temp -> ""))
+    k.k_scalars;
+  List.iter
+    (fun i -> Format.fprintf fmt "    variable %s : integer := 0;@." i)
+    (strided_indices k.k_body);
+  if needs_rot_tmp k.k_body then
+    Format.fprintf fmt "    variable rot_tmp : integer := 0;@.";
+  Format.fprintf fmt "  begin@.";
+  Format.fprintf fmt "    wait until rising_edge(clk) and start = '1';@.";
+  Format.fprintf fmt "    done <= '0';@.";
+  Format.fprintf fmt "    @[<v 4>    %a@]@." pp_body k.k_body;
+  Format.fprintf fmt "    done <= '1';@.";
+  Format.fprintf fmt "  end process;@.";
+  Format.fprintf fmt "end architecture behavioral;@.";
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(** Emit a kernel together with its computed layout: the kernel is first
+    rewritten to distributed arrays, and the directive comments name each
+    bank's physical memory. *)
+let emit_with_layout ~num_memories (k : Ast.kernel) : string =
+  let d = Data_layout.Renaming.rewrite ~num_memories k in
+  let mem_of_array =
+    List.map
+      (fun ((ar, vid), m) ->
+        let name =
+          if
+            List.exists
+              (fun (orig, _) -> orig = ar)
+              d.Data_layout.Renaming.split
+          then Data_layout.Renaming.bank_name ar vid
+          else ar
+        in
+        (name, m))
+      d.Data_layout.Renaming.layout.Data_layout.Layout.phys
+  in
+  emit ~memory_of_array:mem_of_array d.Data_layout.Renaming.kernel

@@ -1,0 +1,18 @@
+(** Behavioral VHDL emission — the system's SUIF2VHDL stage (Figure 3 of
+    the paper). The transformed kernel becomes one entity whose
+    architecture holds a single clocked process: array variables carry a
+    [map_to_memory] directive naming the physical memory chosen by the
+    data layout, compiler registers become process variables, loops
+    become VHDL [for] loops, and register rotation becomes the parallel
+    shift sequence. Monet-generation behavioral synthesis consumed
+    exactly this style. *)
+
+(** Emit the support package, entity and architecture.
+    [memory_of_array] names the physical memory of each array (from the
+    data layout); omitted arrays get memory 0. *)
+val emit : ?memory_of_array:(string * int) list -> Ir.Ast.kernel -> string
+
+(** Rewrite the kernel to its distributed arrays first
+    ({!Data_layout.Renaming}), then emit with each bank's physical
+    memory in the directive comments. *)
+val emit_with_layout : num_memories:int -> Ir.Ast.kernel -> string

@@ -1,0 +1,129 @@
+(** Shared test utilities: kernel equality checking through the reference
+    interpreter, and a random generator of small, well-formed affine
+    kernels for the semantics-preservation property tests. *)
+
+open Ir
+
+let vector_to_string v =
+  String.concat "," (List.map (fun (i, u) -> Printf.sprintf "%s=%d" i u) v)
+
+(** Run both kernels on the same inputs and compare every declared array
+    of [reference]. [translate_in]/[translate_out] adapt inputs/outputs
+    when the candidate uses a different data layout. *)
+let equivalent ?(inputs = []) ?(translate_in = fun i -> i)
+    ?(translate_out = fun o -> o) ~(reference : Ast.kernel)
+    (candidate : Ast.kernel) : bool =
+  let ref_out = Eval.observables (Eval.run ~inputs reference) in
+  let cand_out =
+    translate_out (Eval.observables (Eval.run ~inputs:(translate_in inputs) candidate))
+  in
+  List.for_all
+    (fun (name, data) ->
+      match List.assoc_opt name cand_out with
+      | Some d -> d = data
+      | None -> false)
+    ref_out
+
+let check_equiv ?inputs ?translate_in ?translate_out ~reference candidate msg =
+  Alcotest.(check bool) msg true
+    (equivalent ?inputs ?translate_in ?translate_out ~reference candidate)
+
+(* ------------------------------------------------------------------ *)
+(* Random affine kernels *)
+
+(** A generated kernel always takes this shape: a 1-3 deep perfect nest
+    over arrays with in-bounds affine accesses, computing sums/products
+    of reads into an output array (possibly accumulating). Array sizes
+    are derived from the maximum subscript value so evaluation never goes
+    out of bounds. *)
+let gen_kernel : Ast.kernel QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* depth = int_range 1 3 in
+  let* trips = list_repeat depth (int_range 2 6) in
+  let indices = List.filteri (fun i _ -> i < depth) [ "i"; "j"; "k" ] in
+  let* n_in = int_range 1 2 in
+  (* subscript form: one or two enclosing indices with coeff 1-2 plus an
+     offset 0-3 *)
+  let gen_sub =
+    let* which = int_range 0 (depth - 1) in
+    let* coeff = int_range 1 2 in
+    let* use_second = bool in
+    let* offset = int_range 0 3 in
+    let second =
+      if use_second && depth > 1 then [ (List.nth indices ((which + 1) mod depth), 1) ]
+      else []
+    in
+    return (Affine.make ((List.nth indices which, coeff) :: second) offset)
+  in
+  let max_value (f : Affine.t) =
+    List.fold_left
+      (fun acc v ->
+        let c = Affine.coeff f v in
+        let pos = List.length (List.filter (fun i -> i = v) indices) in
+        ignore pos;
+        let idx = List.mapi (fun i x -> (x, i)) indices in
+        let ti = List.assoc v idx in
+        acc + (c * (List.nth trips ti - 1)))
+      (Affine.const_part f) (Affine.vars f)
+  in
+  let* in_subs = list_repeat n_in gen_sub in
+  let* out_sub = gen_sub in
+  let arrays_in =
+    List.mapi
+      (fun i f ->
+        Ast.array_decl ~elem:Dtype.int16 (Printf.sprintf "a%d" i) [ max_value f + 1 ])
+      in_subs
+  in
+  let out_decl = Ast.array_decl ~elem:Dtype.int32 "out" [ max_value out_sub + 1 ] in
+  let* accumulate = bool in
+  let* use_mul = bool in
+  let reads =
+    List.mapi
+      (fun i f -> Ast.Arr (Printf.sprintf "a%d" i, [ Affine.to_expr f ]))
+      in_subs
+  in
+  let combine a b = if use_mul then Ast.Bin (Ast.Mul, a, b) else Ast.Bin (Ast.Add, a, b) in
+  let rhs =
+    match reads with
+    | [] -> Ast.Int 1
+    | r :: rest -> List.fold_left combine r rest
+  in
+  let out_ref = [ Affine.to_expr out_sub ] in
+  let rhs = if accumulate then Ast.Bin (Ast.Add, Ast.Arr ("out", out_ref), rhs) else rhs in
+  let body = [ Ast.Assign (Ast.Larr ("out", out_ref), rhs) ] in
+  let nest =
+    List.fold_right2
+      (fun index trip inner ->
+        [ Ast.For { Ast.index; lo = 0; hi = trip; step = 1; body = inner } ])
+      indices trips body
+  in
+  return
+    {
+      Ast.k_name = "rand";
+      k_arrays = arrays_in @ [ out_decl ];
+      k_scalars = [];
+      k_body = nest;
+    }
+
+(** Deterministic inputs for a generated kernel. *)
+let inputs_for (k : Ast.kernel) = Kernels.test_inputs ~seed:7 k
+
+(** Random unroll vector for a kernel's spine. *)
+let gen_vector_for (k : Ast.kernel) : (string * int) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let spine = Loop_nest.spine k.k_body in
+  let gens =
+    List.map
+      (fun (l : Ast.loop) ->
+        let* u = int_range 1 (Ast.loop_trip l) in
+        return (l.index, u))
+      spine
+  in
+  flatten_l gens
+
+let kernel_print k = Pretty.kernel_to_string k
+
+(** Alcotest case from a QCheck2 property. *)
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

@@ -1,0 +1,316 @@
+(** Analysis tests: access collection, dependence distances (validated
+    against brute-force subscript enumeration), independence tests, and
+    uniformly generated sets. *)
+
+open Ir
+module B = Builder
+module Access = Analysis.Access
+module Dep = Analysis.Dependence
+module Reuse = Analysis.Reuse
+
+let fir () = Option.get (Kernels.find "fir")
+let jac () = Option.get (Kernels.find "jac")
+let mm () = Option.get (Kernels.find "mm")
+
+(* ------------------------------------------------------------------ *)
+(* Access collection *)
+
+let test_collect_fir () =
+  let k = fir () in
+  let accesses = Access.collect k.Ast.k_body in
+  Alcotest.(check int) "4 accesses" 4 (List.length accesses);
+  let reads = Access.reads accesses and writes = Access.writes accesses in
+  Alcotest.(check int) "3 reads" 3 (List.length reads);
+  Alcotest.(check int) "1 write" 1 (List.length writes);
+  let w = List.hd writes in
+  Alcotest.(check string) "write to D" "D" w.Access.array;
+  Alcotest.(check (list string)) "write context" [ "j"; "i" ] (Access.indices w);
+  Alcotest.(check bool) "affine" true (List.for_all Access.is_affine accesses)
+
+let test_collect_guarded () =
+  let k =
+    B.kernel "t" ~arrays:[ Ast.array_decl "a" [ 8 ] ]
+      [
+        B.for_ "i" 0 4 (fun i ->
+            [ B.if_ B.(i == B.int 0) [ B.store1 "a" i (B.arr1 "a" B.(i + B.int 4)) ] ]);
+      ]
+  in
+  let accesses = Access.collect k.Ast.k_body in
+  Alcotest.(check bool) "all guarded" true
+    (List.for_all (fun a -> a.Access.guarded) accesses)
+
+let test_varies_with () =
+  let k = mm () in
+  let accesses = Access.collect k.Ast.k_body in
+  let find arr kind =
+    List.find (fun a -> a.Access.array = arr && a.Access.kind = kind) accesses
+  in
+  let a = find "A" Access.Read in
+  Alcotest.(check bool) "A varies i" true (Access.varies_with a "i");
+  Alcotest.(check bool) "A not j" false (Access.varies_with a "j");
+  Alcotest.(check bool) "A varies k" true (Access.varies_with a "k")
+
+let test_linearized () =
+  let k = mm () in
+  let decl = Option.get (Ast.find_array k "A") in
+  let accesses = Access.collect k.Ast.k_body in
+  let a = List.find (fun x -> x.Access.array = "A") accesses in
+  match Access.linearized decl a with
+  | None -> Alcotest.fail "should linearize"
+  | Some f ->
+      (* A[i][k] with dims [32;16] -> 16*i + k *)
+      Alcotest.(check int) "i coeff" 16 (Affine.coeff f "i");
+      Alcotest.(check int) "k coeff" 1 (Affine.coeff f "k")
+
+(* ------------------------------------------------------------------ *)
+(* Dependence distances *)
+
+let entry = Alcotest.testable Dep.pp_entry Dep.equal_entry
+
+let dist_of k a1 a2 =
+  let accesses = Access.collect k.Ast.k_body in
+  let find pred = List.find pred accesses in
+  Dep.ug_distance_vector (find a1) (find a2)
+
+let test_fir_distances () =
+  let k = fir () in
+  (* D read vs D write: j distance 0, i unconstrained. *)
+  (match
+     dist_of k
+       (fun a -> a.Access.array = "D" && Access.is_read a)
+       (fun a -> a.Access.array = "D" && Access.is_write a)
+   with
+  | Dep.Distance [ dj; di ] ->
+      Alcotest.check entry "j entry" (Dep.Exact 0) dj;
+      Alcotest.check entry "i entry" Dep.Any di
+  | r -> Alcotest.failf "unexpected result %s" (Dep.show_result r));
+  (* S[i+j] self: coupled solutions. *)
+  match
+    dist_of k
+      (fun a -> a.Access.array = "S")
+      (fun a -> a.Access.array = "S")
+  with
+  | Dep.Distance [ dj; di ] ->
+      Alcotest.check entry "j coupled" Dep.Coupled dj;
+      Alcotest.check entry "i coupled" Dep.Coupled di
+  | r -> Alcotest.failf "unexpected result %s" (Dep.show_result r)
+
+let test_jac_distances () =
+  let k = jac () in
+  let accesses = Access.collect k.Ast.k_body in
+  let a_reads = List.filter (fun a -> a.Access.array = "A") accesses in
+  (* A[i][j-1] vs A[i][j+1]: exact (0, 2). *)
+  let sub_const (a : Access.t) d =
+    match List.nth a.Access.affine d with
+    | Some f -> Affine.const_part f
+    | None -> 0
+  in
+  let m1 = List.find (fun a -> sub_const a 1 = -1) a_reads in
+  let p1 = List.find (fun a -> sub_const a 1 = 1) a_reads in
+  (* the element A[i][j+1] reads is re-read by A[i][j-1] two j-iterations
+     later: distance (0, 2) from p1 to m1 *)
+  (match Dep.ug_distance_vector p1 m1 with
+  | Dep.Distance [ di; dj ] ->
+      Alcotest.check entry "i" (Dep.Exact 0) di;
+      Alcotest.check entry "j" (Dep.Exact 2) dj
+  | r -> Alcotest.failf "unexpected %s" (Dep.show_result r));
+  (* A[i+1][j] to A[i-1][j]: exact (2, 0). *)
+  let im1 = List.find (fun a -> sub_const a 0 = -1) a_reads in
+  let ip1 = List.find (fun a -> sub_const a 0 = 1) a_reads in
+  match Dep.ug_distance_vector ip1 im1 with
+  | Dep.Distance [ di; dj ] ->
+      Alcotest.check entry "i" (Dep.Exact 2) di;
+      Alcotest.check entry "j" (Dep.Exact 0) dj
+  | r -> Alcotest.failf "unexpected %s" (Dep.show_result r)
+
+let test_independence () =
+  (* a[2i] vs a[2i+1]: never equal. *)
+  let k =
+    B.kernel "t" ~arrays:[ Ast.array_decl "a" [ 32 ] ]
+      [
+        B.for_ "i" 0 8 (fun i ->
+            [ B.store1 "a" B.((B.int 2 * i) + B.int 1) (B.arr1 "a" B.(B.int 2 * i)) ]);
+      ]
+  in
+  let accesses = Access.collect k.Ast.k_body in
+  let r = List.find Access.is_read accesses in
+  let w = List.find Access.is_write accesses in
+  Alcotest.(check bool) "gcd-independent" true
+    (Dep.ug_distance_vector r w = Dep.Independent)
+
+let test_banerjee () =
+  (* Disjoint halves of one array: a[i] reads in [0,8), writes in [16,24). *)
+  let k =
+    B.kernel "t" ~arrays:[ Ast.array_decl "a" [ 32 ] ]
+      [
+        B.for_ "i" 0 8 (fun i ->
+            [ B.store1 "a" B.(i + B.int 16) (B.arr1 "a" i) ]);
+      ]
+  in
+  let decl = Ast.array_decl "a" [ 32 ] in
+  let accesses = Access.collect k.Ast.k_body in
+  let r = List.find Access.is_read accesses in
+  let w = List.find Access.is_write accesses in
+  Alcotest.(check bool) "banerjee proves independence" true
+    (Analysis.Dependence.banerjee_test decl r w)
+
+let test_carried_by () =
+  let k = fir () in
+  Alcotest.(check bool) "j carries nothing" true
+    (Dep.loop_carries_no_dependence k k.Ast.k_body "j");
+  Alcotest.(check bool) "i carries the reduction" false
+    (Dep.loop_carries_no_dependence k k.Ast.k_body "i")
+
+let test_carried_mm () =
+  let k = mm () in
+  Alcotest.(check bool) "i free" true (Dep.loop_carries_no_dependence k k.Ast.k_body "i");
+  Alcotest.(check bool) "j free" true (Dep.loop_carries_no_dependence k k.Ast.k_body "j");
+  Alcotest.(check bool) "k carries" false
+    (Dep.loop_carries_no_dependence k k.Ast.k_body "k")
+
+let test_min_distance () =
+  (* b[i] = b[i-3] + 1 : carried distance 3. *)
+  let k =
+    B.kernel "t" ~arrays:[ Ast.array_decl "b" [ 16 ] ]
+      [
+        B.for_ "i" 3 16 (fun i ->
+            [ B.store1 "b" i B.(arr1 "b" (i - B.int 3) + B.int 1) ]);
+      ]
+  in
+  Alcotest.(check (option int)) "distance 3" (Some 3)
+    (Dep.min_carried_distance k k.Ast.k_body "i")
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force validation of the distance solver *)
+
+(** For a random 2-deep nest with two accesses to the same array, compare
+    the solver's verdict with brute-force: enumerate all iteration pairs
+    and see which iteration differences make the subscripts collide. *)
+let prop_distance_brute_force =
+  Helpers.qtest "distance solver agrees with brute force" ~count:200
+    QCheck2.Gen.(
+      let gen_aff =
+        let* ci = int_range 0 2 in
+        let* cj = int_range 0 2 in
+        let* c = int_range 0 4 in
+        return (Affine.make [ ("i", ci); ("j", cj) ] c)
+      in
+      pair gen_aff gen_aff)
+    (fun (f, g) ->
+      let trip_i = 5 and trip_j = 5 in
+      let loops =
+        [
+          { Ast.index = "i"; lo = 0; hi = trip_i; step = 1; body = [] };
+          { Ast.index = "j"; lo = 0; hi = trip_j; step = 1; body = [] };
+        ]
+      in
+      let size = 100 in
+      let k =
+        B.kernel "t" ~arrays:[ Ast.array_decl "a" [ size ] ]
+          [
+            B.loop "i" 0 trip_i
+              [
+                B.loop "j" 0 trip_j
+                  [ B.store1 "a" (Affine.to_expr g) (B.arr1 "a" (Affine.to_expr f)) ];
+              ];
+          ]
+      in
+      let accesses = Access.collect k.Ast.k_body in
+      let r = List.find Access.is_read accesses in
+      let w = List.find Access.is_write accesses in
+      let result = Dep.ug_distance_vector r w in
+      (* brute force: all (ti, tj) with some iteration pair colliding *)
+      let solutions = ref [] in
+      List.iter
+        (fun iv1 ->
+          List.iter
+            (fun iv2 ->
+              let env1 v = List.assoc v (List.combine [ "i"; "j" ] iv1) in
+              let env2 v = List.assoc v (List.combine [ "i"; "j" ] iv2) in
+              if Affine.eval ~env:env1 f = Affine.eval ~env:env2 g then begin
+                let d = List.map2 (fun a b -> b - a) iv1 iv2 in
+                if not (List.mem d !solutions) then solutions := d :: !solutions
+              end)
+            (Loop_nest.iteration_vectors loops))
+        (Loop_nest.iteration_vectors loops);
+      match result with
+      | Dep.Independent -> !solutions = []
+      | Dep.Distance entries ->
+          (* every brute-force solution must be admitted by the entries *)
+          !solutions <> []
+          && List.for_all
+               (fun d ->
+                 List.for_all2
+                   (fun e v ->
+                     match e with
+                     | Dep.Exact x -> x = v
+                     | Dep.Any | Dep.Coupled -> true)
+                   entries d)
+               !solutions
+      | Dep.Unknown -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Uniformly generated sets / reuse *)
+
+let test_set_counts () =
+  let expected = [ ("fir", (3, 1)); ("mm", (3, 1)); ("pat", (3, 1)); ("jac", (1, 1)) ] in
+  List.iter
+    (fun (name, (er, ew)) ->
+      let k = Option.get (Kernels.find name) in
+      let r, w = Reuse.set_counts k.Ast.k_body in
+      Alcotest.(check (pair int int)) (name ^ " R/W sets") (er, ew) (r, w))
+    expected
+
+let test_jac_single_read_set () =
+  let k = jac () in
+  let reads = Reuse.read_sets k.Ast.k_body in
+  Alcotest.(check int) "one uniformly generated read set" 1 (List.length reads);
+  Alcotest.(check int) "four members" 4
+    (List.length (List.hd reads).Reuse.members)
+
+let test_invariant_loops () =
+  let k = fir () in
+  let groups = Reuse.groups k.Ast.k_body in
+  let c = List.find (fun (g : Reuse.group) -> g.array = "C") groups in
+  let invariant = Reuse.invariant_loops c in
+  Alcotest.(check (list string)) "C invariant in j" [ "j" ]
+    (List.map (fun (l : Ast.loop) -> l.index) invariant)
+
+let test_bank_size () =
+  let k = fir () in
+  let groups = Reuse.groups k.Ast.k_body in
+  let c = List.find (fun (g : Reuse.group) -> g.array = "C") groups in
+  let spine = Loop_nest.spine k.Ast.k_body in
+  let j = List.hd spine in
+  Alcotest.(check int) "bank across j = 32 registers" 32
+    (Reuse.bank_size c ~carrier:j)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "access",
+        [
+          Alcotest.test_case "collect FIR" `Quick test_collect_fir;
+          Alcotest.test_case "guarded" `Quick test_collect_guarded;
+          Alcotest.test_case "varies_with" `Quick test_varies_with;
+          Alcotest.test_case "linearized" `Quick test_linearized;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "FIR distances" `Quick test_fir_distances;
+          Alcotest.test_case "JAC distances" `Quick test_jac_distances;
+          Alcotest.test_case "gcd independence" `Quick test_independence;
+          Alcotest.test_case "banerjee" `Quick test_banerjee;
+          Alcotest.test_case "carried-by FIR" `Quick test_carried_by;
+          Alcotest.test_case "carried-by MM" `Quick test_carried_mm;
+          Alcotest.test_case "min distance" `Quick test_min_distance;
+          prop_distance_brute_force;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "set counts" `Quick test_set_counts;
+          Alcotest.test_case "JAC single set" `Quick test_jac_single_read_set;
+          Alcotest.test_case "invariant loops" `Quick test_invariant_loops;
+          Alcotest.test_case "bank size" `Quick test_bank_size;
+        ] );
+    ]
