@@ -24,7 +24,7 @@ let ctx ?(pipelined = true) name =
   let profile = Estimate.default_profile ~pipelined () in
   Design.context ~profile k
 
-let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+let divisors = Dse.Util.divisors
 
 let vec_str v =
   "(" ^ String.concat "," (List.map (fun (_, u) -> string_of_int u) v) ^ ")"
@@ -145,6 +145,7 @@ let fraction () =
   Printf.printf "%-8s %-6s %8s %10s %10s %16s %9s\n" "kernel" "mem" "evals"
     "space" "searched" "selected" "vs best";
   let total = ref 0 and totsp = ref 0 in
+  let evals = ref 0 and hits = ref 0 in
   List.iter
     (fun pipelined ->
       List.iter
@@ -153,6 +154,8 @@ let fraction () =
           let r = Search.run c in
           let visited = Search.designs_evaluated r in
           let sp = Space.sweep ~max_product:256 c in
+          evals := !evals + c.Design.stats.Design.evaluations;
+          hits := !hits + c.Design.stats.Design.cache_hits;
           let best = Option.get (Space.best_fitting c sp) in
           let ratio =
             float_of_int (Design.cycles r.Search.selected)
@@ -170,6 +173,9 @@ let fraction () =
     [ true; false ];
   Printf.printf "%-8s %-6s %8d %10d %9.2f%%\n" "overall" "" !total !totsp
     (100.0 *. float_of_int !total /. float_of_int !totsp);
+  Printf.printf
+    "# stats: %d designs synthesized, %d served from the evaluation cache\n"
+    !evals !hits;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

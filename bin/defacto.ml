@@ -154,7 +154,8 @@ let explore kernel file non_pipelined memories capacity report =
   let base = Dse.Design.evaluate ctx (Dse.Design.ubase ctx) in
   Format.printf "baseline: %a@." Dse.Design.pp_point base;
   Format.printf "speedup over baseline: %.2fx@."
-    (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected))
+    (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected));
+  Format.printf "stats: %a@." Dse.Design.pp_stats r.stats
 
 let explore_cmd =
   let doc = "Run the balance-guided design space exploration (Figure 2)." in
@@ -207,11 +208,18 @@ let max_product_arg =
   let doc = "Skip sweep points whose unroll product exceeds $(docv)." in
   Arg.(value & opt int 1024 & info [ "max-product" ] ~docv:"P" ~doc)
 
-let space kernel file non_pipelined memories capacity max_product =
+let jobs_arg =
+  let doc =
+    "Evaluate the sweep on $(docv) parallel domains (1 forces the \
+     sequential path; the default scales with the host's cores)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let space kernel file non_pipelined memories capacity max_product jobs =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
   let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
-  let sp = Dse.Space.sweep ~max_product ctx in
+  let sp = Dse.Space.sweep ~max_product ?jobs ctx in
   Format.printf "# %-24s %10s %10s %10s %8s@." "vector" "cycles" "slices"
     "balance" "fits";
   List.iter
@@ -223,17 +231,18 @@ let space kernel file non_pipelined memories capacity max_product =
         (Dse.Design.balance sp.Dse.Space.point)
         (if Dse.Design.space sp.Dse.Space.point <= capacity then "yes" else "no"))
     sp.Dse.Space.points;
-  match Dse.Space.best_fitting ctx sp with
+  (match Dse.Space.best_fitting ctx sp with
   | Some best ->
       Format.printf "# best fitting: %a@." Dse.Design.pp_point best.Dse.Space.point
-  | None -> Format.printf "# no fitting design@."
+  | None -> Format.printf "# no fitting design@.");
+  Format.printf "# stats: %a@." Dse.Design.pp_stats ctx.Dse.Design.stats
 
 let space_cmd =
   let doc = "Exhaustively sweep the (divisor) design space and report every point." in
   Cmd.v (Cmd.info "space" ~doc)
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ max_product_arg)
+      $ capacity_arg $ max_product_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vhdl *)

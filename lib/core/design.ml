@@ -1,6 +1,11 @@
 (** A design point: one unroll-factor vector, the code it generates, and
     the behavioral synthesis estimates for it. Evaluating a point is the
-    `Generate; Synthesize; Balance` sequence of the paper's Figure 2. *)
+    `Generate; Synthesize; Balance` sequence of the paper's Figure 2.
+
+    Evaluation is memoized: every context carries a cache keyed on the
+    normalized unroll vector, shared by the search, the exhaustive sweep,
+    and the drivers, plus counters ([stats]) that record how many designs
+    were actually synthesized versus served from the cache. *)
 
 open Ir
 
@@ -11,12 +16,26 @@ type point = {
   report : Transform.Scalar_replace.report;
 }
 
+type stats = {
+  mutable evaluations : int;
+      (** cache misses: full [Generate; Synthesize] runs *)
+  mutable cache_hits : int;
+  mutable transform_seconds : float;  (** wall time in the transform pipeline *)
+  mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
+}
+
+let fresh_stats () =
+  { evaluations = 0; cache_hits = 0; transform_seconds = 0.0; estimate_seconds = 0.0 }
+
 type context = {
   source : Ast.kernel;  (** the input loop nest *)
   profile : Hls.Estimate.profile;
   capacity : int;  (** device slices *)
   spine : Ast.loop list;
   pipeline : Transform.Pipeline.options;  (** base options (vector is set per point) *)
+  cache : ((string * int) list, point) Hashtbl.t;
+      (** evaluation memo, keyed on the normalized vector *)
+  stats : stats;
 }
 
 let context ?(pipeline = Transform.Pipeline.default)
@@ -27,6 +46,8 @@ let context ?(pipeline = Transform.Pipeline.default)
     capacity = profile.Hls.Estimate.device.Hls.Device.capacity_slices;
     spine = Loop_nest.spine source.k_body;
     pipeline;
+    cache = Hashtbl.create 64;
+    stats = fresh_stats ();
   }
 
 (** Normalise a vector to cover every spine loop, with factors clamped to
@@ -46,8 +67,15 @@ let normalize_vector (ctx : context) (v : (string * int) list) :
 
 let product v = List.fold_left (fun acc (_, u) -> acc * u) 1 v
 
+(** Equality of the designs two vectors denote: loops missing from either
+    side count as factor 1, so a partial vector compares equal to its
+    spine-normalized form (and vectors of different lengths never raise). *)
 let vector_equal a b =
-  List.for_all2 (fun (i, u) (j, w) -> i = j && u = w) a b
+  let factor v i = Option.value ~default:1 (List.assoc_opt i v) in
+  let indices =
+    List.sort_uniq compare (List.map fst a @ List.map fst b)
+  in
+  List.for_all (fun i -> factor a i = factor b i) indices
 
 (** Unroll factor vector corresponding to no unrolling (the baseline of
     Table 2: all other transformations still apply). *)
@@ -58,18 +86,86 @@ let umax (ctx : context) =
   List.map (fun (l : Ast.loop) -> (l.index, Ast.loop_trip l)) ctx.spine
 
 (** Generate the code for a vector and estimate it — the paper's
-    [Generate] followed by [Synthesize]. *)
-let evaluate (ctx : context) (v : (string * int) list) : point =
+    [Generate] followed by [Synthesize] — bypassing the cache (the
+    result is not stored either). Still bumps [stats]. *)
+let evaluate_uncached (ctx : context) (v : (string * int) list) : point =
   let v = normalize_vector ctx v in
   let opts = { ctx.pipeline with Transform.Pipeline.vector = v } in
+  let t0 = Util.now () in
   let r = Transform.Pipeline.apply opts ctx.source in
+  let t1 = Util.now () in
   let estimate = Hls.Estimate.estimate ctx.profile r.Transform.Pipeline.kernel in
+  let t2 = Util.now () in
+  ctx.stats.evaluations <- ctx.stats.evaluations + 1;
+  ctx.stats.transform_seconds <- ctx.stats.transform_seconds +. (t1 -. t0);
+  ctx.stats.estimate_seconds <- ctx.stats.estimate_seconds +. (t2 -. t1);
   {
     vector = v;
     kernel = r.Transform.Pipeline.kernel;
     estimate;
     report = r.Transform.Pipeline.report;
   }
+
+(** Cached [Generate; Synthesize]: vectors are normalized before the
+    cache lookup, so any two spellings of the same design share one
+    synthesis run. *)
+let evaluate (ctx : context) (v : (string * int) list) : point =
+  let key = normalize_vector ctx v in
+  match Hashtbl.find_opt ctx.cache key with
+  | Some p ->
+      ctx.stats.cache_hits <- ctx.stats.cache_hits + 1;
+      p
+  | None ->
+      let p = evaluate_uncached ctx key in
+      Hashtbl.replace ctx.cache key p;
+      p
+
+(* ------------------------------------------------------------------ *)
+(* Cache and statistics plumbing *)
+
+let cache_size (ctx : context) = Hashtbl.length ctx.cache
+let reset_stats (ctx : context) =
+  ctx.stats.evaluations <- 0;
+  ctx.stats.cache_hits <- 0;
+  ctx.stats.transform_seconds <- 0.0;
+  ctx.stats.estimate_seconds <- 0.0
+
+(** Immutable copy of the context's counters (for before/after deltas). *)
+let stats_snapshot (ctx : context) : stats =
+  {
+    evaluations = ctx.stats.evaluations;
+    cache_hits = ctx.stats.cache_hits;
+    transform_seconds = ctx.stats.transform_seconds;
+    estimate_seconds = ctx.stats.estimate_seconds;
+  }
+
+let stats_diff ~(before : stats) ~(after : stats) : stats =
+  {
+    evaluations = after.evaluations - before.evaluations;
+    cache_hits = after.cache_hits - before.cache_hits;
+    transform_seconds = after.transform_seconds -. before.transform_seconds;
+    estimate_seconds = after.estimate_seconds -. before.estimate_seconds;
+  }
+
+(** A private copy of [ctx] for one domain of a parallel sweep: shares
+    the immutable fields, snapshots the current cache, and starts fresh
+    counters. Never share one mutable context across domains — fork per
+    domain and [absorb] the forks back on the joining side. *)
+let fork (ctx : context) : context =
+  { ctx with cache = Hashtbl.copy ctx.cache; stats = fresh_stats () }
+
+(** Merge a fork's cache entries and counters back into [into]
+    (entries already present in [into] are kept as-is). *)
+let absorb ~(into : context) (forked : context) : unit =
+  Hashtbl.iter
+    (fun k p -> if not (Hashtbl.mem into.cache k) then Hashtbl.replace into.cache k p)
+    forked.cache;
+  into.stats.evaluations <- into.stats.evaluations + forked.stats.evaluations;
+  into.stats.cache_hits <- into.stats.cache_hits + forked.stats.cache_hits;
+  into.stats.transform_seconds <-
+    into.stats.transform_seconds +. forked.stats.transform_seconds;
+  into.stats.estimate_seconds <-
+    into.stats.estimate_seconds +. forked.stats.estimate_seconds
 
 let balance (p : point) = p.estimate.Hls.Estimate.balance
 let space (p : point) = p.estimate.Hls.Estimate.slices
@@ -83,3 +179,10 @@ let pp_vector fmt v =
 let pp_point fmt p =
   Format.fprintf fmt "%a: cycles=%d slices=%d balance=%.3f" pp_vector p.vector
     (cycles p) (space p) (balance p)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "%d synthesized, %d cache hits (transform %.1f ms, estimate %.1f ms)"
+    s.evaluations s.cache_hits
+    (1000.0 *. s.transform_seconds)
+    (1000.0 *. s.estimate_seconds)

@@ -1,6 +1,11 @@
 (** A design point: one unroll-factor vector, the code it generates, and
     the behavioral synthesis estimates for it. Evaluating a point is the
-    [Generate; Synthesize; Balance] sequence of the paper's Figure 2. *)
+    [Generate; Synthesize; Balance] sequence of the paper's Figure 2.
+
+    Evaluation is memoized: every context carries a cache keyed on the
+    normalized unroll vector, shared by the search, the exhaustive sweep,
+    and the drivers, plus counters ([stats]) that record how many designs
+    were actually synthesized versus served from the cache. *)
 
 open Ir
 
@@ -11,6 +16,16 @@ type point = {
   report : Transform.Scalar_replace.report;
 }
 
+type stats = {
+  mutable evaluations : int;
+      (** cache misses: full [Generate; Synthesize] runs *)
+  mutable cache_hits : int;
+  mutable transform_seconds : float;  (** wall time in the transform pipeline *)
+  mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
+}
+
+val fresh_stats : unit -> stats
+
 type context = {
   source : Ast.kernel;  (** the input loop nest *)
   profile : Hls.Estimate.profile;
@@ -18,6 +33,12 @@ type context = {
   spine : Ast.loop list;
   pipeline : Transform.Pipeline.options;
       (** base options; the vector is set per point *)
+  cache : ((string * int) list, point) Hashtbl.t;
+      (** evaluation memo, keyed on the normalized vector. Updating
+          [pipeline] or [profile] with a record update invalidates the
+          cached points — build a fresh context with {!context} instead
+          (updating [capacity] is fine: it does not enter evaluation). *)
+  stats : stats;
 }
 
 val context :
@@ -32,6 +53,10 @@ val context :
 val normalize_vector : context -> (string * int) list -> (string * int) list
 
 val product : (string * int) list -> int
+
+(** Equality of the designs two vectors denote: loops missing from either
+    side count as factor 1, so partial and spine-normalized spellings of
+    the same design compare equal and differing lengths never raise. *)
 val vector_equal : (string * int) list -> (string * int) list -> bool
 
 (** No unrolling — the baseline of the paper's Table 2 (all other
@@ -41,8 +66,32 @@ val ubase : context -> (string * int) list
 (** Full unrolling of every loop. *)
 val umax : context -> (string * int) list
 
-(** Generate the code for a vector and estimate it. *)
+(** Generate the code for a vector and estimate it, through the cache:
+    vectors are normalized before lookup, so any two spellings of the
+    same design share one synthesis run. *)
 val evaluate : context -> (string * int) list -> point
+
+(** Like {!evaluate} but bypassing the cache entirely (neither read nor
+    written); still counted in [stats]. *)
+val evaluate_uncached : context -> (string * int) list -> point
+
+(** Number of distinct designs currently memoized. *)
+val cache_size : context -> int
+
+val reset_stats : context -> unit
+
+(** Immutable copy of the context's counters (for before/after deltas). *)
+val stats_snapshot : context -> stats
+
+val stats_diff : before:stats -> after:stats -> stats
+
+(** A private copy of [ctx] for one domain of a parallel sweep: shares
+    the immutable fields, snapshots the current cache, and starts fresh
+    counters. Never share one mutable context across domains. *)
+val fork : context -> context
+
+(** Merge a fork's cache entries and counters back into [into]. *)
+val absorb : into:context -> context -> unit
 
 val balance : point -> float
 val space : point -> int
@@ -50,3 +99,4 @@ val cycles : point -> int
 val fits : context -> point -> bool
 val pp_vector : Format.formatter -> (string * int) list -> unit
 val pp_point : Format.formatter -> point -> unit
+val pp_stats : Format.formatter -> stats -> unit

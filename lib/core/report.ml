@@ -58,7 +58,16 @@ let render fmt (r : t) =
         s.point.Design.vector (Design.cycles s.point) (Design.space s.point)
         (Design.balance s.point) s.verdict)
     r.result.Search.steps;
-  Format.fprintf fmt "@.## Selected design: %a@.@." pp_vector sel.Design.vector;
+  let st = r.result.Search.stats in
+  Format.fprintf fmt "@.## Evaluation statistics@.@.";
+  Format.fprintf fmt
+    "- designs synthesized: %d (%d cache hits)@.- transform time: %.1f ms; \
+     estimate time: %.1f ms@.- designs memoized in the context: %d@.@."
+    st.Design.evaluations st.Design.cache_hits
+    (1000.0 *. st.Design.transform_seconds)
+    (1000.0 *. st.Design.estimate_seconds)
+    (Design.cache_size ctx);
+  Format.fprintf fmt "## Selected design: %a@.@." pp_vector sel.Design.vector;
   let e = sel.Design.estimate in
   Format.fprintf fmt
     "- execution: %d cycles (%.1f us at the target clock)@.- memory-only \

@@ -62,7 +62,6 @@ let compute ?(pipeline = Transform.Pipeline.default) ~num_memories
     Ordered lexicographically by the eligible loops, outermost first. *)
 let vectors_with_product (ctx : Design.context) (sat : t) (target : int) :
     (string * int) list list =
-  let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
   let eligible =
     List.filter
       (fun (l : Ast.loop) -> List.mem l.index sat.eligible)
@@ -78,7 +77,7 @@ let vectors_with_product (ctx : Design.context) (sat : t) (target : int) :
             if target mod d = 0 then
               List.map (fun tl -> (l.index, d) :: tl) (go rest (target / d))
             else [])
-          (List.filter (fun d -> d <= trip) (divisors (min target trip)))
+          (List.filter (fun d -> d <= trip) (Util.divisors (min target trip)))
   in
   List.map (Design.normalize_vector ctx) (go eligible target)
 

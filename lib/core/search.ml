@@ -29,15 +29,16 @@ type result = {
   steps : step list;  (** every synthesized design, in search order *)
   sat : Saturation.t;
   uinit : (string * int) list;
+  stats : Design.stats;
+      (** evaluation counters for this run only: synthesis runs, cache
+          hits, transform/estimate wall time *)
 }
-
 
 (* ------------------------------------------------------------------ *)
 (* Vector enumeration within bounds *)
 
 let vectors_between (ctx : Design.context) (sat : Saturation.t) ~lower ~upper
     ~product : (string * int) list list =
-  let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
   let lo i = Option.value ~default:1 (List.assoc_opt i lower) in
   let hi i = Option.value ~default:1 (List.assoc_opt i upper) in
   let rec go loops target =
@@ -46,7 +47,7 @@ let vectors_between (ctx : Design.context) (sat : Saturation.t) ~lower ~upper
     | (l : Ast.loop) :: rest ->
         let trip = Ast.loop_trip l in
         let cands =
-          divisors trip
+          Util.divisors trip
           |> List.filter (fun d ->
                  d >= lo l.index && d <= hi l.index && target mod d = 0)
         in
@@ -71,11 +72,7 @@ let achievable_products (ctx : Design.context) (sat : Saturation.t) ~upper :
         else begin
           let trip = Ast.loop_trip l in
           let cap = Option.value ~default:1 (List.assoc_opt l.index upper) in
-          let ds =
-            List.filter
-              (fun d -> trip mod d = 0 && d <= cap)
-              (List.init trip (fun i -> i + 1))
-          in
+          let ds = List.filter (fun d -> d <= cap) (Util.divisors trip) in
           go rest
             (List.sort_uniq compare
                (List.concat_map (fun p -> List.map (fun d -> p * d) ds) acc))
@@ -154,16 +151,13 @@ let run ?(config = default_config) (ctx : Design.context) : result =
   let ubase = Design.ubase ctx in
   let uinit = choose_uinit ctx sat in
   let psat_product = max 1 (Design.product uinit) in
-  let memo : ((string * int) list, Design.point) Hashtbl.t = Hashtbl.create 32 in
+  (* The context's evaluation cache is the memo: it keys on the
+     *normalized* vector, so partial vectors from [choose_uinit] /
+     [Saturation.sat_i] and full vectors from [vectors_between] that
+     denote the same design share one synthesis run. *)
+  let stats_before = Design.stats_snapshot ctx in
   let steps = ref [] in
-  let evaluate v =
-    match Hashtbl.find_opt memo v with
-    | Some p -> p
-    | None ->
-        let p = Design.evaluate ctx v in
-        Hashtbl.replace memo v p;
-        p
-  in
+  let evaluate v = Design.evaluate ctx v in
   let log point verdict = steps := { point; verdict } :: !steps in
   let pick_best cands =
     match cands with
@@ -283,7 +277,10 @@ let run ?(config = default_config) (ctx : Design.context) : result =
   (* Make sure the selected design appears in the step log. *)
   if not (List.exists (fun s -> Design.vector_equal s.point.Design.vector !ucurr) !steps)
   then log selected "selected";
-  { selected; steps = List.rev !steps; sat; uinit }
+  let stats =
+    Design.stats_diff ~before:stats_before ~after:(Design.stats_snapshot ctx)
+  in
+  { selected; steps = List.rev !steps; sat; uinit; stats }
 
 (** Number of distinct designs synthesized during the search. *)
 let designs_evaluated (r : result) : int =

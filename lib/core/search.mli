@@ -30,6 +30,10 @@ type result = {
   steps : step list;  (** every synthesized design, in search order *)
   sat : Saturation.t;
   uinit : (string * int) list;
+  stats : Design.stats;
+      (** evaluation counters for this run only: synthesis runs, cache
+          hits, transform/estimate wall time. On a fresh context,
+          [stats.evaluations] equals {!designs_evaluated}. *)
 }
 
 (** Per-loop desirability for unrolling: infinite for loops carrying no

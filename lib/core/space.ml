@@ -7,7 +7,13 @@
     factors for each explorable loop (trip_1 * trip_2 * ...) — while the
     exhaustive sweep evaluates the divisor sub-lattice, which contains
     every distinct generated design (a non-divisor factor leaves an
-    epilogue that only degrades the design). *)
+    epilogue that only degrades the design).
+
+    The sweep can run on several OCaml 5 domains ([jobs]): the vector
+    list is chunked over a work queue, each domain evaluates against a
+    {!Design.fork} of the context, and the forks' caches and counters
+    are merged back on join. The result order is deterministic and
+    identical to the sequential sweep regardless of [jobs]. *)
 
 open Ir
 
@@ -21,26 +27,65 @@ type t = {
   total_designs : int;  (** paper-style space size: product of trip counts *)
 }
 
-(** All divisor vectors over the explorable loops. [eligible] defaults to
-    the loops the saturation analysis considers (those that carry memory
-    accesses); MM's innermost loop is excluded exactly as in the paper. *)
-let divisor_vectors (ctx : Design.context) ~(eligible : string list) :
-    (string * int) list list =
-  let rec go = function
+(** All divisor vectors over the explorable loops whose unroll product is
+    at most [max_product]. [eligible] defaults to the loops the
+    saturation analysis considers (those that carry memory accesses);
+    MM's innermost loop is excluded exactly as in the paper. The product
+    bound is enforced *during* the recursion — factors are all >= 1, so a
+    prefix already over the bound cannot be completed — which keeps deep
+    nests from materializing the full cross-product first. *)
+let divisor_vectors ?(max_product = max_int) (ctx : Design.context)
+    ~(eligible : string list) : (string * int) list list =
+  let rec go loops budget =
+    match loops with
     | [] -> [ [] ]
     | (l : Ast.loop) :: rest ->
-        let tails = go rest in
         let trip = Ast.loop_trip l in
         let ds =
           if List.mem l.index eligible then
-            List.filter (fun d -> trip mod d = 0) (List.init trip (fun i -> i + 1))
+            List.filter (fun d -> d <= budget) (Util.divisors trip)
           else [ 1 ]
         in
-        List.concat_map (fun d -> List.map (fun tl -> (l.index, d) :: tl) tails) ds
+        List.concat_map
+          (fun d -> List.map (fun tl -> (l.index, d) :: tl) (go rest (budget / d)))
+          ds
   in
-  go ctx.Design.spine
+  go ctx.Design.spine max_product
 
-let sweep ?eligible ?(max_product = max_int) (ctx : Design.context) : t =
+(* Evaluate [vectors] on [jobs] domains. Work is handed out in chunks
+   from an atomic cursor; each domain writes its results at the vectors'
+   original indices, so the merged order matches the sequential order.
+   Every domain gets a {!Design.fork} seeded with the current cache, and
+   the forks are absorbed back after the join. *)
+let evaluate_parallel ~jobs (ctx : Design.context) (vectors : (string * int) list array) :
+    sweep_point array =
+  let n = Array.length vectors in
+  let results : sweep_point option array = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let chunk = max 1 (n / (jobs * 8)) in
+  let forks = Array.init jobs (fun _ -> Design.fork ctx) in
+  let worker (fork : Design.context) () =
+    let rec loop () =
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start < n then begin
+        for i = start to min (start + chunk) n - 1 do
+          let v = vectors.(i) in
+          results.(i) <- Some { vector = v; point = Design.evaluate fork v }
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = Array.map (fun fork -> Domain.spawn (worker fork)) forks in
+  Array.iter Domain.join domains;
+  Array.iter (fun fork -> Design.absorb ~into:ctx fork) forks;
+  Array.map (function Some sp -> sp | None -> assert false) results
+
+(** Number of domains a sweep uses when [jobs] is not given. *)
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let sweep ?eligible ?(max_product = max_int) ?jobs (ctx : Design.context) : t =
   let sat =
     lazy
       (Saturation.compute ~pipeline:ctx.Design.pipeline
@@ -52,13 +97,13 @@ let sweep ?eligible ?(max_product = max_int) (ctx : Design.context) : t =
     | Some e -> e
     | None -> (Lazy.force sat).Saturation.eligible
   in
-  let vectors =
-    List.filter
-      (fun v -> List.fold_left (fun acc (_, u) -> acc * u) 1 v <= max_product)
-      (divisor_vectors ctx ~eligible)
-  in
+  let vectors = divisor_vectors ~max_product ctx ~eligible in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let points =
-    List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
+    if jobs <= 1 || List.length vectors < 2 * jobs then
+      List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
+    else
+      Array.to_list (evaluate_parallel ~jobs ctx (Array.of_list vectors))
   in
   let total_designs =
     List.fold_left

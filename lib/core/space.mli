@@ -6,7 +6,9 @@
     The space size follows the paper's accounting — all integer unroll
     factors for each explorable loop — while the exhaustive sweep
     evaluates the divisor sub-lattice, which contains every distinct
-    generated design. *)
+    generated design. The sweep runs on several OCaml 5 domains (see
+    [jobs]) with per-domain forks of the evaluation cache merged back on
+    join; its result order is deterministic and independent of [jobs]. *)
 
 type sweep_point = { vector : (string * int) list; point : Design.point }
 
@@ -15,14 +17,25 @@ type t = {
   total_designs : int;  (** paper-style size: product of trip counts *)
 }
 
-(** All divisor vectors over the explorable loops. *)
+(** All divisor vectors over the explorable loops with unroll product at
+    most [max_product] (default unbounded). The bound is enforced during
+    enumeration, so deep nests never materialize the full cross-product. *)
 val divisor_vectors :
-  Design.context -> eligible:string list -> (string * int) list list
+  ?max_product:int ->
+  Design.context ->
+  eligible:string list ->
+  (string * int) list list
+
+(** Number of domains a sweep uses when [jobs] is not given: one per
+    recommended domain minus the joining domain, capped at 8. *)
+val default_jobs : unit -> int
 
 (** Evaluate the whole lattice. [eligible] defaults to the saturation
     analysis's loops; [max_product] skips points with larger unroll
-    products. *)
-val sweep : ?eligible:string list -> ?max_product:int -> Design.context -> t
+    products; [jobs] is the number of evaluating domains ([jobs <= 1]
+    forces the sequential path; the default is {!default_jobs}). *)
+val sweep :
+  ?eligible:string list -> ?max_product:int -> ?jobs:int -> Design.context -> t
 
 (** Best-performing design that fits the device. *)
 val best_fitting : Design.context -> t -> sweep_point option

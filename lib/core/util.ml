@@ -1,0 +1,11 @@
+(** Small helpers shared by the design-space modules (and the bench
+    harness), so the divisor enumeration exists in exactly one place. *)
+
+(** Positive divisors of [n] in ascending order ([divisors 12] is
+    [1; 2; 3; 4; 6; 12]). [n <= 0] has no positive divisors. *)
+let divisors n =
+  if n <= 0 then []
+  else List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+(** Wall-clock timestamp in seconds, for the evaluation statistics. *)
+let now () = Unix.gettimeofday ()

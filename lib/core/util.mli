@@ -1,0 +1,8 @@
+(** Small helpers shared by the design-space modules (and the bench
+    harness). *)
+
+(** Positive divisors of [n] in ascending order; empty for [n <= 0]. *)
+val divisors : int -> int list
+
+(** Wall-clock timestamp in seconds. *)
+val now : unit -> float
