@@ -5,12 +5,18 @@
     dune exec bench/main.exe                 -- everything
     dune exec bench/main.exe -- --only fig5  -- one artifact
     dune exec bench/main.exe -- --list       -- list artifact ids
+    dune exec bench/main.exe -- --smoke      -- fast CI subset
     v}
 
     Artifacts: fig4 fig5 fig6 fig7 fig8 fig9 fig10 (balance / cycles /
     area sweeps), tab2 (speedups), frac (fraction of the space searched),
     acc (estimate accuracy after the P&R model), ablation (contribution
-    of each transformation), speed (Bechamel timing of the search). *)
+    of each transformation), json (machine-readable DSE perf trajectory,
+    written to BENCH_dse.json), speed (Bechamel timing of the search).
+
+    [--smoke] runs a reduced subset with small sweep lattices and a
+    throwaway JSON file; the test suite executes it on every [dune
+    runtest] so the bench code cannot bit-rot silently. *)
 
 module Design = Dse.Design
 module Search = Dse.Search
@@ -18,6 +24,12 @@ module Space = Dse.Space
 module Estimate = Hls.Estimate
 
 let capacity = Hls.Device.default.Hls.Device.capacity_slices
+
+(** Smoke mode: tiny sweep lattices, temp-file JSON, fast artifact
+    subset — exercised from the test suite. *)
+let smoke = ref false
+
+let sweep_product () = if !smoke then 16 else 256
 
 let ctx ?(pipelined = true) name =
   let k = Option.get (Kernels.find name) in
@@ -145,7 +157,7 @@ let fraction () =
   Printf.printf "%-8s %-6s %8s %10s %10s %16s %9s\n" "kernel" "mem" "evals"
     "space" "searched" "selected" "vs best";
   let total = ref 0 and totsp = ref 0 in
-  let evals = ref 0 and hits = ref 0 in
+  let evals = ref 0 and hits = ref 0 and pruned = ref 0 in
   List.iter
     (fun pipelined ->
       List.iter
@@ -153,9 +165,13 @@ let fraction () =
           let c = ctx ~pipelined name in
           let r = Search.run c in
           let visited = Search.designs_evaluated r in
-          let sp = Space.sweep ~max_product:256 c in
+          (* The sweep oracle itself runs two-tier: tier-1 bounds prune
+             points that provably cannot beat the best fitting design,
+             without changing which design that is. *)
+          let sp = Space.sweep ~max_product:(sweep_product ()) ~prune:true c in
           evals := !evals + c.Design.stats.Design.evaluations;
           hits := !hits + c.Design.stats.Design.cache_hits;
+          pruned := !pruned + sp.Space.pruned;
           let best = Option.get (Space.best_fitting c sp) in
           let ratio =
             float_of_int (Design.cycles r.Search.selected)
@@ -174,8 +190,98 @@ let fraction () =
   Printf.printf "%-8s %-6s %8d %10d %9.2f%%\n" "overall" "" !total !totsp
     (100.0 *. float_of_int !total /. float_of_int !totsp);
   Printf.printf
-    "# stats: %d designs synthesized, %d served from the evaluation cache\n"
-    !evals !hits;
+    "# stats: %d designs synthesized, %d served from the evaluation cache, \
+     %d sweep points pruned by quick estimates\n"
+    !evals !hits !pruned;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable DSE performance trajectory: BENCH_dse.json *)
+
+(* Hand-rolled serialization — the repo carries no JSON dependency and
+   the schema is flat. *)
+let json_of_fields fields =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"
+
+(** Per kernel: search wall time and evaluations, selected design, and
+    the exhaustive-sweep wall time with and without tier-1 pruning on
+    fresh contexts (sequential, so the times are comparable). Emitted as
+    one JSON document so the perf trajectory is trackable across PRs. *)
+let dse_json () =
+  let file =
+    if !smoke then Filename.temp_file "BENCH_dse" ".json" else "BENCH_dse.json"
+  in
+  let mp = sweep_product () in
+  Printf.printf "## json: DSE performance counters -> %s\n" file;
+  Printf.printf "%-8s %10s %8s %12s %12s %8s %8s\n" "kernel" "search(ms)"
+    "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned";
+  let entries =
+    List.map
+      (fun name ->
+        let c = ctx name in
+        let t0 = Dse.Util.now () in
+        let r = Search.run c in
+        let t_search = Dse.Util.now () -. t0 in
+        (* Exhaustive and two-tier sweeps on fresh contexts: same
+           lattice, cold caches, one domain each, so wall times and
+           synthesis counts are directly comparable. *)
+        let c_full = ctx name in
+        let t0 = Dse.Util.now () in
+        let sp_full = Space.sweep ~max_product:mp ~jobs:1 c_full in
+        let t_full = Dse.Util.now () -. t0 in
+        let c_pruned = ctx name in
+        let t0 = Dse.Util.now () in
+        let sp_pruned = Space.sweep ~max_product:mp ~prune:true ~jobs:1 c_pruned in
+        let t_pruned = Dse.Util.now () -. t0 in
+        let best_full = Option.get (Space.best_fitting c_full sp_full) in
+        let best_pruned = Option.get (Space.best_fitting c_pruned sp_pruned) in
+        Printf.printf "%-8s %10.1f %8d %12.1f %12.1f %8d %8d\n" name
+          (1000.0 *. t_search)
+          r.Search.stats.Design.evaluations
+          (1000.0 *. t_full) (1000.0 *. t_pruned)
+          c_pruned.Design.stats.Design.evaluations sp_pruned.Space.pruned;
+        json_of_fields
+          [
+            ("kernel", Printf.sprintf "%S" name);
+            ("search_seconds", Printf.sprintf "%.6f" t_search);
+            ( "search_evaluations",
+              string_of_int r.Search.stats.Design.evaluations );
+            ( "selected_vector",
+              Printf.sprintf "%S" (vec_str r.Search.selected.Design.vector) );
+            ( "selected_cycles",
+              string_of_int (Design.cycles r.Search.selected) );
+            ("sweep_max_product", string_of_int mp);
+            ("sweep_points", string_of_int (List.length sp_full.Space.points));
+            ("sweep_seconds_full", Printf.sprintf "%.6f" t_full);
+            ("sweep_seconds_pruned", Printf.sprintf "%.6f" t_pruned);
+            ( "sweep_evaluations_full",
+              string_of_int c_full.Design.stats.Design.evaluations );
+            ( "sweep_evaluations_pruned",
+              string_of_int c_pruned.Design.stats.Design.evaluations );
+            ( "sweep_cache_hits_pruned",
+              string_of_int c_pruned.Design.stats.Design.cache_hits );
+            ( "quick_estimates",
+              string_of_int c_pruned.Design.stats.Design.quick_estimates );
+            ("pruned", string_of_int sp_pruned.Space.pruned);
+            ( "best_cycles_full",
+              string_of_int (Design.cycles best_full.Space.point) );
+            ( "best_cycles_pruned",
+              string_of_int (Design.cycles best_pruned.Space.point) );
+            ( "selection_unchanged",
+              if
+                Design.vector_equal best_full.Space.vector
+                  best_pruned.Space.vector
+              then "true"
+              else "false" );
+          ])
+      Kernels.names
+  in
+  let oc = open_out file in
+  output_string oc ("[\n  " ^ String.concat ",\n  " entries ^ "\n]\n");
+  close_out oc;
+  if !smoke then Sys.remove file;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -312,14 +418,30 @@ let artifacts : (string * (unit -> unit)) list =
     ("fig10", fun () -> figure ~id:"fig10" ~pipelined:true "sobel");
     ("tab2", table2);
     ("frac", fraction);
+    ("json", dse_json);
     ("acc", accuracy);
     ("ablation", ablation);
     ("gallery", gallery);
     ("speed", bechamel_speed);
   ]
 
+(** The CI subset: one figure, the speedup table, the two-tier sweep
+    statistics and the JSON emitter — every distinct code path, small
+    lattices, no Bechamel sampling. *)
+let smoke_artifacts = [ "fig5"; "tab2"; "frac"; "json" ]
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) artifacts
   | [ "--only"; id ] -> (
@@ -335,7 +457,9 @@ let () =
         Hls.Device.default.Hls.Device.name
         Hls.Device.default.Hls.Device.num_memories
         Hls.Device.default.Hls.Device.clock_ns;
-      List.iter (fun (_, f) -> f ()) artifacts
+      let ids = if !smoke then smoke_artifacts else List.map fst artifacts in
+      List.iter (fun id -> (List.assoc id artifacts) ()) ids
   | _ ->
-      prerr_endline "usage: main.exe [--list | --only <artifact>]";
+      prerr_endline
+        "usage: main.exe [--smoke] [--list | --only <artifact>]";
       exit 1

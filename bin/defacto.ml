@@ -215,11 +215,20 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let space kernel file non_pipelined memories capacity max_product jobs =
+let prune_arg =
+  let doc =
+    "Two-tier sweep: skip full synthesis of points whose analytical lower \
+     bounds prove they cannot fit the device or cannot beat the best \
+     fitting design (admissible pruning; the selected designs are \
+     unchanged)."
+  in
+  Arg.(value & flag & info [ "prune" ] ~doc)
+
+let space kernel file non_pipelined memories capacity max_product prune jobs =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
   let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
-  let sp = Dse.Space.sweep ~max_product ?jobs ctx in
+  let sp = Dse.Space.sweep ~max_product ~prune ?jobs ctx in
   Format.printf "# %-24s %10s %10s %10s %8s@." "vector" "cycles" "slices"
     "balance" "fits";
   List.iter
@@ -235,6 +244,10 @@ let space kernel file non_pipelined memories capacity max_product jobs =
   | Some best ->
       Format.printf "# best fitting: %a@." Dse.Design.pp_point best.Dse.Space.point
   | None -> Format.printf "# no fitting design@.");
+  if sp.Dse.Space.pruned > 0 then
+    Format.printf "# pruned without synthesis: %d of %d lattice points@."
+      sp.Dse.Space.pruned
+      (sp.Dse.Space.pruned + List.length sp.Dse.Space.points);
   Format.printf "# stats: %a@." Dse.Design.pp_stats ctx.Dse.Design.stats
 
 let space_cmd =
@@ -242,7 +255,7 @@ let space_cmd =
   Cmd.v (Cmd.info "space" ~doc)
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ max_product_arg $ jobs_arg)
+      $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vhdl *)

@@ -20,50 +20,83 @@ type stats = {
   mutable evaluations : int;
       (** cache misses: full [Generate; Synthesize] runs *)
   mutable cache_hits : int;
+  mutable quick_estimates : int;
+      (** tier-1 analytical lower bounds computed ({!quick}) *)
+  mutable pruned : int;
+      (** full syntheses skipped because a lower bound disqualified
+          the point (over capacity or provably behind the incumbent) *)
   mutable transform_seconds : float;  (** wall time in the transform pipeline *)
   mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
 }
 
 let fresh_stats () =
-  { evaluations = 0; cache_hits = 0; transform_seconds = 0.0; estimate_seconds = 0.0 }
+  {
+    evaluations = 0;
+    cache_hits = 0;
+    quick_estimates = 0;
+    pruned = 0;
+    transform_seconds = 0.0;
+    estimate_seconds = 0.0;
+  }
 
 type context = {
   source : Ast.kernel;  (** the input loop nest *)
   profile : Hls.Estimate.profile;
   capacity : int;  (** device slices *)
   spine : Ast.loop list;
+  spine_divisors : (string * int list) list;
+      (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;  (** base options (vector is set per point) *)
   cache : ((string * int) list, point) Hashtbl.t;
       (** evaluation memo, keyed on the normalized vector *)
+  quick_facts : Hls.Quick.facts option Lazy.t;
+      (** tier-1 pre-estimator facts; [None] when the pipeline tiles
+          (strip-mining adds loops the source skeleton cannot see) *)
   stats : stats;
 }
 
 let context ?(pipeline = Transform.Pipeline.default)
     ?(profile = Hls.Estimate.default_profile ()) (source : Ast.kernel) =
+  let spine = Loop_nest.spine source.k_body in
   {
     source;
     profile;
     capacity = profile.Hls.Estimate.device.Hls.Device.capacity_slices;
-    spine = Loop_nest.spine source.k_body;
+    spine;
+    spine_divisors =
+      List.map
+        (fun (l : Ast.loop) -> (l.index, Util.divisors (Ast.loop_trip l)))
+        spine;
     pipeline;
     cache = Hashtbl.create 64;
+    quick_facts =
+      lazy
+        (if pipeline.Transform.Pipeline.tile <> None then None
+         else
+           Some
+             (Hls.Quick.facts ~device:profile.Hls.Estimate.device
+                ~mem:profile.Hls.Estimate.mem source));
     stats = fresh_stats ();
   }
 
 (** Normalise a vector to cover every spine loop, with factors clamped to
     divisors of the trip counts (the space the search explores; a
     non-divisor factor would leave an epilogue that defeats scalar
-    replacement). *)
+    replacement). The largest divisor no greater than the requested
+    factor comes from the context's precomputed divisor lists rather
+    than a linear downward scan. *)
 let normalize_vector (ctx : context) (v : (string * int) list) :
     (string * int) list =
-  List.map
-    (fun (l : Ast.loop) ->
+  List.map2
+    (fun (l : Ast.loop) (_, divs) ->
       let u = max 1 (Option.value ~default:1 (List.assoc_opt l.index v)) in
-      let trip = Ast.loop_trip l in
-      let u = min u trip in
-      let rec down u = if u <= 1 || trip mod u = 0 then max 1 u else down (u - 1) in
-      (l.index, down u))
-    ctx.spine
+      let u = min u (Ast.loop_trip l) in
+      (* divisor lists are ascending; keep the largest one <= u *)
+      let d =
+        List.fold_left (fun best d -> if d <= u then d else best) 1 divs
+      in
+      (l.index, d))
+    ctx.spine ctx.spine_divisors
 
 let product v = List.fold_left (fun acc (_, u) -> acc * u) 1 v
 
@@ -121,12 +154,31 @@ let evaluate (ctx : context) (v : (string * int) list) : point =
       p
 
 (* ------------------------------------------------------------------ *)
+(* Tier-1 analytical bounds *)
+
+(** Admissible lower bounds for the design point at [v], without
+    generating or estimating anything — the two-tier engine's tier 1.
+    [None] when the pre-estimator does not apply (tiling pipeline). *)
+let quick (ctx : context) (v : (string * int) list) : Hls.Quick.t option =
+  match Lazy.force ctx.quick_facts with
+  | None -> None
+  | Some facts ->
+      ctx.stats.quick_estimates <- ctx.stats.quick_estimates + 1;
+      Some (Hls.Quick.bound facts ~vector:(normalize_vector ctx v))
+
+(** Record that one full synthesis was skipped on tier-1 evidence. *)
+let note_pruned (ctx : context) =
+  ctx.stats.pruned <- ctx.stats.pruned + 1
+
+(* ------------------------------------------------------------------ *)
 (* Cache and statistics plumbing *)
 
 let cache_size (ctx : context) = Hashtbl.length ctx.cache
 let reset_stats (ctx : context) =
   ctx.stats.evaluations <- 0;
   ctx.stats.cache_hits <- 0;
+  ctx.stats.quick_estimates <- 0;
+  ctx.stats.pruned <- 0;
   ctx.stats.transform_seconds <- 0.0;
   ctx.stats.estimate_seconds <- 0.0
 
@@ -135,6 +187,8 @@ let stats_snapshot (ctx : context) : stats =
   {
     evaluations = ctx.stats.evaluations;
     cache_hits = ctx.stats.cache_hits;
+    quick_estimates = ctx.stats.quick_estimates;
+    pruned = ctx.stats.pruned;
     transform_seconds = ctx.stats.transform_seconds;
     estimate_seconds = ctx.stats.estimate_seconds;
   }
@@ -143,6 +197,8 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
   {
     evaluations = after.evaluations - before.evaluations;
     cache_hits = after.cache_hits - before.cache_hits;
+    quick_estimates = after.quick_estimates - before.quick_estimates;
+    pruned = after.pruned - before.pruned;
     transform_seconds = after.transform_seconds -. before.transform_seconds;
     estimate_seconds = after.estimate_seconds -. before.estimate_seconds;
   }
@@ -152,6 +208,9 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
     counters. Never share one mutable context across domains — fork per
     domain and [absorb] the forks back on the joining side. *)
 let fork (ctx : context) : context =
+  (* Lazy.force is not domain-safe: settle the shared suspension here,
+     on the forking side, before any domain can race on it. *)
+  ignore (Lazy.force ctx.quick_facts);
   { ctx with cache = Hashtbl.copy ctx.cache; stats = fresh_stats () }
 
 (** Merge a fork's cache entries and counters back into [into]
@@ -162,6 +221,9 @@ let absorb ~(into : context) (forked : context) : unit =
     forked.cache;
   into.stats.evaluations <- into.stats.evaluations + forked.stats.evaluations;
   into.stats.cache_hits <- into.stats.cache_hits + forked.stats.cache_hits;
+  into.stats.quick_estimates <-
+    into.stats.quick_estimates + forked.stats.quick_estimates;
+  into.stats.pruned <- into.stats.pruned + forked.stats.pruned;
   into.stats.transform_seconds <-
     into.stats.transform_seconds +. forked.stats.transform_seconds;
   into.stats.estimate_seconds <-
@@ -182,7 +244,7 @@ let pp_point fmt p =
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "%d synthesized, %d cache hits (transform %.1f ms, estimate %.1f ms)"
-    s.evaluations s.cache_hits
+    "%d synthesized, %d cache hits, %d quick estimates, %d pruned (transform %.1f ms, estimate %.1f ms)"
+    s.evaluations s.cache_hits s.quick_estimates s.pruned
     (1000.0 *. s.transform_seconds)
     (1000.0 *. s.estimate_seconds)

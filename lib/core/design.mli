@@ -20,6 +20,11 @@ type stats = {
   mutable evaluations : int;
       (** cache misses: full [Generate; Synthesize] runs *)
   mutable cache_hits : int;
+  mutable quick_estimates : int;
+      (** tier-1 analytical lower bounds computed ({!quick}) *)
+  mutable pruned : int;
+      (** full syntheses skipped because a tier-1 lower bound already
+          disqualified the point *)
   mutable transform_seconds : float;  (** wall time in the transform pipeline *)
   mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
 }
@@ -31,6 +36,8 @@ type context = {
   profile : Hls.Estimate.profile;
   capacity : int;  (** device slices *)
   spine : Ast.loop list;
+  spine_divisors : (string * int list) list;
+      (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;
       (** base options; the vector is set per point *)
   cache : ((string * int) list, point) Hashtbl.t;
@@ -38,6 +45,8 @@ type context = {
           [pipeline] or [profile] with a record update invalidates the
           cached points — build a fresh context with {!context} instead
           (updating [capacity] is fine: it does not enter evaluation). *)
+  quick_facts : Hls.Quick.facts option Lazy.t;
+      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
   stats : stats;
 }
 
@@ -74,6 +83,19 @@ val evaluate : context -> (string * int) list -> point
 (** Like {!evaluate} but bypassing the cache entirely (neither read nor
     written); still counted in [stats]. *)
 val evaluate_uncached : context -> (string * int) list -> point
+
+(** Tier 1 of the two-tier engine: admissible lower bounds on the
+    point's cycles and slices straight from the source kernel — no
+    code generation, no scheduling. The bounds never exceed what
+    {!evaluate} would report for the same vector, so callers may skip
+    evaluation of points they disqualify without changing any
+    selection. [None] when the pre-estimator does not apply (tiling
+    pipelines). Counted in [stats.quick_estimates]. *)
+val quick : context -> (string * int) list -> Hls.Quick.t option
+
+(** Record that one full synthesis was skipped on tier-1 evidence
+    (bumps [stats.pruned]). *)
+val note_pruned : context -> unit
 
 (** Number of distinct designs currently memoized. *)
 val cache_size : context -> int

@@ -61,9 +61,11 @@ let render fmt (r : t) =
   let st = r.result.Search.stats in
   Format.fprintf fmt "@.## Evaluation statistics@.@.";
   Format.fprintf fmt
-    "- designs synthesized: %d (%d cache hits)@.- transform time: %.1f ms; \
+    "- designs synthesized: %d (%d cache hits)@.- quick estimates: %d; \
+     points pruned without synthesis: %d@.- transform time: %.1f ms; \
      estimate time: %.1f ms@.- designs memoized in the context: %d@.@."
-    st.Design.evaluations st.Design.cache_hits
+    st.Design.evaluations st.Design.cache_hits st.Design.quick_estimates
+    st.Design.pruned
     (1000.0 *. st.Design.transform_seconds)
     (1000.0 *. st.Design.estimate_seconds)
     (Design.cache_size ctx);

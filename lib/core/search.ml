@@ -159,6 +159,13 @@ let run ?(config = default_config) (ctx : Design.context) : result =
   let steps = ref [] in
   let evaluate v = Design.evaluate ctx v in
   let log point verdict = steps := { point; verdict } :: !steps in
+  (* Tier-1 capacity gate: the analytical area floor is admissible, so a
+     point it puts over capacity needs no synthesis to be rejected. *)
+  let quick_over_capacity v =
+    match Design.quick ctx v with
+    | Some q -> q.Hls.Quick.slices_lb > ctx.Design.capacity
+    | None -> false
+  in
   let pick_best cands =
     match cands with
     | [] -> None
@@ -224,9 +231,15 @@ let run ?(config = default_config) (ctx : Design.context) : result =
       | p :: rest -> (
           match pick_best (vectors_between ctx sat ~lower:ubase ~upper:uinit ~product:p) with
           | Some v ->
-              let pt = evaluate v in
-              log pt "fit-probe";
-              if Design.space pt <= ctx.Design.capacity then v else go rest
+              if quick_over_capacity v then begin
+                Design.note_pruned ctx;
+                go rest
+              end
+              else begin
+                let pt = evaluate v in
+                log pt "fit-probe";
+                if Design.space pt <= ctx.Design.capacity then v else go rest
+              end
           | None -> go rest)
     in
     go products
@@ -242,6 +255,19 @@ let run ?(config = default_config) (ctx : Design.context) : result =
   while not !ok do
     incr iterations;
     if !iterations > config.max_steps then ok := true
+    else if quick_over_capacity !ucurr then begin
+      (* Rejected on the tier-1 bound alone: same move as the
+         over-capacity verdict, with no synthesis and no logged step. *)
+      Design.note_pruned ctx;
+      if Design.vector_equal !ucurr uinit then begin
+        ucurr := find_largest_fit ();
+        ok := true
+      end
+      else begin
+        ucurr := select_between !ucb !ucurr;
+        if Design.vector_equal !ucurr !ucb then ok := true
+      end
+    end
     else begin
       let pt = evaluate !ucurr in
       let b = Design.balance pt in

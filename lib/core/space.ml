@@ -13,7 +13,17 @@
     list is chunked over a work queue, each domain evaluates against a
     {!Design.fork} of the context, and the forks' caches and counters
     are merged back on join. The result order is deterministic and
-    identical to the sequential sweep regardless of [jobs]. *)
+    identical to the sequential sweep regardless of [jobs].
+
+    With [~prune:true] the sweep runs two-tier: tier-1 lower bounds
+    ({!Design.quick}) are computed for the whole lattice first, points
+    are visited in ascending lower-bound order, and a point is skipped —
+    never generated, never estimated — when its bounds prove it cannot
+    fit the device or cannot come within [prune_slack] of the best
+    fitting design seen so far. Pruning is admissible: skipped points
+    can be neither {!best_fitting} nor {!smallest_comparable} (at the
+    default matching slack), so both selections are unchanged; only the
+    set of evaluated points shrinks. *)
 
 open Ir
 
@@ -24,6 +34,7 @@ type sweep_point = {
 
 type t = {
   points : sweep_point list;  (** the divisor lattice, evaluated *)
+  pruned : int;  (** lattice points skipped on tier-1 lower bounds *)
   total_designs : int;  (** paper-style space size: product of trip counts *)
 }
 
@@ -85,7 +96,87 @@ let evaluate_parallel ~jobs (ctx : Design.context) (vectors : (string * int) lis
 (** Number of domains a sweep uses when [jobs] is not given. *)
 let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
-let sweep ?eligible ?(max_product = max_int) ?jobs (ctx : Design.context) : t =
+(* Two-tier sweep over [vecs] whose tier-1 bounds [q] are already known.
+   Points are visited in ascending lower-bound order so cheap designs
+   establish the incumbent early; results land at their original lattice
+   indices, so the surviving points come out in lattice order. The
+   incumbent only ever holds the true cycle count of a fitting evaluated
+   point, so a skip is justified no matter when it is read — with
+   several domains the *set* of pruned points may vary between runs
+   (a slower domain may evaluate a point a faster run would skip), but
+   the selected designs never do. *)
+let evaluate_pruned ~jobs ~prune_slack (ctx : Design.context)
+    (vecs : (string * int) list array) (q : Hls.Quick.t array) :
+    sweep_point option array =
+  let n = Array.length vecs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      compare (q.(a).Hls.Quick.cycles_lb, a) (q.(b).Hls.Quick.cycles_lb, b))
+    order;
+  let limit inc =
+    if inc = max_int then max_int
+    else int_of_float (Float.ceil (float_of_int inc *. (1.0 +. prune_slack)))
+  in
+  let results : sweep_point option array = Array.make n None in
+  if jobs <= 1 || n < 2 * jobs then begin
+    let incumbent = ref max_int in
+    Array.iter
+      (fun i ->
+        let qi = q.(i) in
+        if
+          qi.Hls.Quick.slices_lb > ctx.Design.capacity
+          || qi.Hls.Quick.cycles_lb > limit !incumbent
+        then Design.note_pruned ctx
+        else begin
+          let p = Design.evaluate ctx vecs.(i) in
+          results.(i) <- Some { vector = vecs.(i); point = p };
+          if Design.space p <= ctx.Design.capacity then
+            incumbent := min !incumbent (Design.cycles p)
+        end)
+      order
+  end
+  else begin
+    let incumbent = Atomic.make max_int in
+    let rec lower_incumbent c =
+      let cur = Atomic.get incumbent in
+      if c < cur && not (Atomic.compare_and_set incumbent cur c) then
+        lower_incumbent c
+    in
+    let cursor = Atomic.make 0 in
+    let chunk = max 1 (n / (jobs * 8)) in
+    let forks = Array.init jobs (fun _ -> Design.fork ctx) in
+    let worker (fork : Design.context) () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          for k = start to min (start + chunk) n - 1 do
+            let i = order.(k) in
+            let qi = q.(i) in
+            if
+              qi.Hls.Quick.slices_lb > ctx.Design.capacity
+              || qi.Hls.Quick.cycles_lb > limit (Atomic.get incumbent)
+            then Design.note_pruned fork
+            else begin
+              let p = Design.evaluate fork vecs.(i) in
+              results.(i) <- Some { vector = vecs.(i); point = p };
+              if Design.space p <= ctx.Design.capacity then
+                lower_incumbent (Design.cycles p)
+            end
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.map (fun fork -> Domain.spawn (worker fork)) forks in
+    Array.iter Domain.join domains;
+    Array.iter (fun fork -> Design.absorb ~into:ctx fork) forks
+  end;
+  results
+
+let sweep ?eligible ?(max_product = max_int) ?(prune = false)
+    ?(prune_slack = 0.05) ?jobs (ctx : Design.context) : t =
   let sat =
     lazy
       (Saturation.compute ~pipeline:ctx.Design.pipeline
@@ -99,11 +190,30 @@ let sweep ?eligible ?(max_product = max_int) ?jobs (ctx : Design.context) : t =
   in
   let vectors = divisor_vectors ~max_product ctx ~eligible in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let points =
-    if jobs <= 1 || List.length vectors < 2 * jobs then
-      List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
+  (* Tier-1 bounds for the whole lattice; unavailable (tiling) means the
+     sweep silently falls back to exhaustive evaluation. *)
+  let quicks =
+    if not prune then None
     else
-      Array.to_list (evaluate_parallel ~jobs ctx (Array.of_list vectors))
+      let qs = List.map (fun v -> Design.quick ctx v) vectors in
+      if List.exists Option.is_none qs then None
+      else Some (Array.of_list (List.map Option.get qs))
+  in
+  let points, pruned =
+    match quicks with
+    | Some q ->
+        let vecs = Array.of_list vectors in
+        let results = evaluate_pruned ~jobs ~prune_slack ctx vecs q in
+        let pts = List.filter_map (fun x -> x) (Array.to_list results) in
+        (pts, Array.length vecs - List.length pts)
+    | None ->
+        let pts =
+          if jobs <= 1 || List.length vectors < 2 * jobs then
+            List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
+          else
+            Array.to_list (evaluate_parallel ~jobs ctx (Array.of_list vectors))
+        in
+        (pts, 0)
   in
   let total_designs =
     List.fold_left
@@ -111,7 +221,7 @@ let sweep ?eligible ?(max_product = max_int) ?jobs (ctx : Design.context) : t =
         if List.mem l.index eligible then acc * Ast.loop_trip l else acc)
       1 ctx.Design.spine
   in
-  { points; total_designs }
+  { points; pruned; total_designs }
 
 (** Best-performing design in the space that fits the device. *)
 let best_fitting (ctx : Design.context) (t : t) : sweep_point option =

@@ -14,6 +14,7 @@ type sweep_point = { vector : (string * int) list; point : Design.point }
 
 type t = {
   points : sweep_point list;  (** the divisor lattice, evaluated *)
+  pruned : int;  (** lattice points skipped on tier-1 lower bounds *)
   total_designs : int;  (** paper-style size: product of trip counts *)
 }
 
@@ -33,9 +34,30 @@ val default_jobs : unit -> int
 (** Evaluate the whole lattice. [eligible] defaults to the saturation
     analysis's loops; [max_product] skips points with larger unroll
     products; [jobs] is the number of evaluating domains ([jobs <= 1]
-    forces the sequential path; the default is {!default_jobs}). *)
+    forces the sequential path; the default is {!default_jobs}).
+
+    [prune] (default [false]) switches the sweep to two-tier: tier-1
+    lower bounds ({!Design.quick}) are computed for the whole lattice
+    first, points are visited in ascending lower-bound order, and a
+    point is skipped without synthesis when its bounds prove it cannot
+    fit the device or cannot come within [prune_slack] (default 0.05,
+    matching {!smallest_comparable}) of the best fitting design found
+    so far. Admissible: {!best_fitting} and {!smallest_comparable} (at
+    slacks up to [prune_slack]) select the same designs as the
+    exhaustive sweep; only [points] shrinks — skipped points are
+    counted in [pruned] and in [Design.stats.pruned]. With [jobs > 1]
+    the pruned *set* may vary between runs (domain timing decides
+    which points see the incumbent early), the selections never do.
+    When tier 1 does not apply (tiling pipelines) the sweep silently
+    falls back to exhaustive evaluation. *)
 val sweep :
-  ?eligible:string list -> ?max_product:int -> ?jobs:int -> Design.context -> t
+  ?eligible:string list ->
+  ?max_product:int ->
+  ?prune:bool ->
+  ?prune_slack:float ->
+  ?jobs:int ->
+  Design.context ->
+  t
 
 (** Best-performing design that fits the device. *)
 val best_fitting : Design.context -> t -> sweep_point option

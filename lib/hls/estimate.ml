@@ -5,9 +5,10 @@
     calls it once per candidate design point.
 
     The kernel is decomposed into a region tree (straight-line blocks and
-    loops); each block is scheduled three times (jointly, memory-only,
-    compute-only); loop regions multiply their children's cycles by the
-    trip count plus one control cycle per iteration. Operator allocation
+    loops); each block is scheduled under all three modes (jointly,
+    memory-only, compute-only) in one fused {!Schedule.run_tri} pass;
+    loop regions multiply their children's cycles by the trip count plus
+    one control cycle per iteration. Operator allocation
     takes the per-class maximum concurrency over all blocks — behavioral
     synthesis reuses operators across the peeled and main bodies, which
     is why peeling does not double the datapath (Section 4). *)
@@ -50,7 +51,7 @@ let loop_overhead_cycles = 1
 (* Region walk: returns (joint, mem_only, comp_only, bits) as executed
    totals; mutates [usage], [states], [loops]. *)
 type acc = {
-  mutable usage : ((Op_model.op_class * int) * int) list;
+  usage : (Op_model.op_class * int, int) Hashtbl.t;
   mutable states : int;
   mutable loops : int;
 }
@@ -58,8 +59,8 @@ type acc = {
 let merge_usage acc u =
   List.iter
     (fun (key, n) ->
-      let cur = Option.value ~default:0 (List.assoc_opt key acc.usage) in
-      acc.usage <- (key, max cur n) :: List.remove_assoc key acc.usage)
+      let cur = Option.value ~default:0 (Hashtbl.find_opt acc.usage key) in
+      Hashtbl.replace acc.usage key (max cur n))
     u
 
 let estimate (p : profile) (kernel : Ast.kernel) : t =
@@ -70,7 +71,7 @@ let estimate (p : profile) (kernel : Ast.kernel) : t =
   in
   let mem_of a = Layout.memory_of layout a in
   let cursor = Dfg.cursor_of accesses in
-  let acc = { usage = []; states = 0; loops = 0 } in
+  let acc = { usage = Hashtbl.create 16; states = 0; loops = 0 } in
   let rec walk (body : Ast.stmt list) : int * int * int * int =
     (* Split into maximal straight-line chunks and loops. *)
     let flush chunk (j, m, c, b) =
@@ -78,11 +79,9 @@ let estimate (p : profile) (kernel : Ast.kernel) : t =
       | [] -> (j, m, c, b)
       | stmts ->
           let g = Dfg.of_block ~kernel ~mem_of ~cursor stmts in
-          let joint = Schedule.run ~mode:`Joint sched_profile g in
-          (* Re-run relaxed modes on the same graph: they do not consume
-             the cursor (the graph is already built). *)
-          let memo = Schedule.run ~mode:`Mem_only sched_profile g in
-          let comp = Schedule.run ~mode:`Comp_only sched_profile g in
+          let { Schedule.joint; mem_only = memo; comp_only = comp } =
+            Schedule.run_tri sched_profile g
+          in
           merge_usage acc joint.Schedule.usage;
           acc.states <- acc.states + joint.Schedule.cycles;
           ( j + joint.Schedule.cycles,
@@ -114,10 +113,13 @@ let estimate (p : profile) (kernel : Ast.kernel) : t =
   let reads = List.length (List.filter Access.is_read accesses) in
   let writes = List.length (List.filter Access.is_write accesses) in
   (* Area. *)
+  let usage =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) acc.usage [] |> List.sort compare
+  in
   let op_slices =
     List.fold_left
       (fun s ((cls, bucket), n) -> s + (n * Op_model.area cls ~width:bucket))
-      0 acc.usage
+      0 usage
   in
   let register_bits =
     List.fold_left
@@ -156,7 +158,7 @@ let estimate (p : profile) (kernel : Ast.kernel) : t =
     balance;
     states = acc.states;
     memories_used;
-    usage = List.sort compare acc.usage;
+    usage;
     reads;
     writes;
     time_ns = float_of_int cycles *. p.device.Device.clock_ns;

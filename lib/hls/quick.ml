@@ -1,0 +1,335 @@
+(** Tier-1 analytical pre-estimator: closed-form lower bounds on a
+    design point's cycles and slices computed directly from the *source*
+    kernel — no transform pipeline, no DFG, no scheduling.
+
+    The bounds are *admissible*: for every unroll vector they never
+    exceed what the full Generate;Synthesize estimate would report, so
+    the search and the sweep may skip full synthesis of any point whose
+    lower bound already disqualifies it (cannot fit the device, or
+    cannot beat the incumbent) without ever changing which design they
+    select. Three sources of cost survive every transformation the
+    pipeline can apply:
+
+    - {b Memory traffic.} Each distinct element of a never-written array
+      that an unguarded read touches must be fetched from memory at
+      least once (scalar replacement can remove re-loads, never the
+      first load), and each distinct element an unguarded write touches
+      must be stored at least once. Every such access occupies a memory
+      port for its occupancy window, and ports are serialized per
+      memory, so [total occupancy / num_memories] cycles is a floor on
+      both the joint and the memory-only schedules. The footprint is a
+      property of the source kernel alone — unrolling does not change
+      it — so it is computed once per kernel, in {!facts}.
+
+    - {b Loop control.} The estimator charges one control cycle per
+      executed iteration of every surviving loop. Unrolling by [u]
+      divides a loop's trip count by [u]; peeling can strip at most the
+      four innermost-chain refill iterations (wherever they land after
+      cascading) plus one carrier iteration per loop per execution, and
+      a loop whose residual trip reaches one is folded away — hence the
+      per-loop slack of 6 in {!bound}. Loops none of whose subtree
+      accesses vary with their index are granted no overhead at all
+      (their bodies can in principle be hoisted empty).
+
+    - {b Structural area.} The memory interface (18 slices), the FSM
+      floor (4), the registers for the kernel's declared scalars (no
+      pass removes a declaration), and one instance of each operator
+      class that appears with both operands data-dependent (such an
+      operation can be widened or shared but never constant-folded
+      away; it is charged at the narrowest width bucket).
+
+    Guarded accesses, accesses whose subscripts cannot be evaluated at
+    compile time, and anything under a conditional contribute nothing —
+    dropping work only loosens a lower bound. The one care is dead
+    code: a read whose value is never used could in principle be
+    removed by a cleverer pipeline than ours; none of our passes drops
+    loads, so the traffic bound holds for the estimator as built. *)
+
+open Ir
+module Access = Analysis.Access
+
+type t = {
+  cycles_lb : int;  (** lower bound on [Estimate.cycles] *)
+  mem_cycles_lb : int;  (** lower bound on [Estimate.mem_only_cycles] *)
+  comp_cycles_lb : int;  (** lower bound on [Estimate.comp_only_cycles] *)
+  slices_lb : int;  (** lower bound on [Estimate.slices] *)
+  balance_trend : float;
+      (** [comp_cycles_lb / mem_cycles_lb] — same shape as the balance
+          metric, usable to anticipate which side saturates first *)
+}
+
+(* Loop-control skeleton of the source kernel: one node per loop not
+   nested under a conditional, [live] when some unguarded access in its
+   subtree varies with the index. *)
+type ctl = { index : string; trip : int; live : bool; inner : ctl list }
+
+type facts = {
+  device : Device.t;
+  mem : Memory_model.t;
+  min_port_cycles : int;
+      (** total memory-port occupancy cycles of the mandatory footprint *)
+  base_slices : int;  (** vector-independent area floor *)
+  ctl : ctl list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Footprint enumeration *)
+
+(* Compile-time evaluation of a subscript under the loop-index
+   environment; [None] for anything data-dependent. *)
+let rec eval env (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.Var v -> Hashtbl.find_opt env v
+  | Ast.Arr _ | Ast.Cond _ -> None
+  | Ast.Un (op, x) -> (
+      match (op, eval env x) with
+      | Ast.Neg, Some a -> Some (-a)
+      | Ast.Abs, Some a -> Some (abs a)
+      | _ -> None)
+  | Ast.Bin (op, x, y) -> (
+      match (eval env x, eval env y) with
+      | Some a, Some b -> (
+          match op with
+          | Ast.Add -> Some (a + b)
+          | Ast.Sub -> Some (a - b)
+          | Ast.Mul -> Some (a * b)
+          | Ast.Div -> if b = 0 then None else Some (a / b)
+          | Ast.Mod -> if b = 0 then None else Some (a mod b)
+          | Ast.Min -> Some (min a b)
+          | Ast.Max -> Some (max a b)
+          | Ast.Shl -> if b < 0 || b > 62 then None else Some (a lsl b)
+          | Ast.Shr -> if b < 0 || b > 62 then None else Some (a asr b)
+          | _ -> None)
+      | _ -> None)
+
+exception Out_of_budget
+
+(* The iteration spaces of the paper's kernels are a few thousand
+   points; anything far beyond that stops early and keeps the partial
+   footprint, which is still a valid lower bound. *)
+let footprint_budget = 200_000
+
+(* Distinct elements touched by mandatory accesses: reads of arrays the
+   kernel never writes, and all unguarded writes, keyed by evaluated
+   subscript tuple. Conditional branches contribute nothing. *)
+let footprint (k : Ast.kernel) ~(written : (string, unit) Hashtbl.t) =
+  let reads : (string * int list, unit) Hashtbl.t = Hashtbl.create 256 in
+  let writes : (string * int list, unit) Hashtbl.t = Hashtbl.create 256 in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let budget = ref footprint_budget in
+  let spend () =
+    decr budget;
+    if !budget < 0 then raise Out_of_budget
+  in
+  let subs_values subs =
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | s :: rest -> (
+          match eval env s with Some v -> go (v :: acc) rest | None -> None)
+    in
+    go [] subs
+  in
+  let record tbl name subs =
+    spend ();
+    match subs_values subs with
+    | Some vs -> Hashtbl.replace tbl (name, vs) ()
+    | None -> ()
+  in
+  (* Reads anywhere in an unconditionally evaluated expression, including
+     reads nested inside other subscripts. *)
+  let rec expr_reads (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Arr (name, subs) ->
+        List.iter expr_reads subs;
+        if not (Hashtbl.mem written name) then record reads name subs
+    | Ast.Bin (_, a, b) ->
+        expr_reads a;
+        expr_reads b
+    | Ast.Un (_, a) -> expr_reads a
+    | Ast.Cond (c, _, _) -> expr_reads c (* branches evaluate conditionally *)
+  in
+  let rec walk (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (lv, e) -> (
+        expr_reads e;
+        match lv with
+        | Ast.Lvar _ -> ()
+        | Ast.Larr (name, subs) ->
+            List.iter expr_reads subs;
+            record writes name subs)
+    | Ast.If (c, _, _) -> expr_reads c (* guarded bodies are optional *)
+    | Ast.Rotate _ -> ()
+    | Ast.For l ->
+        let saved = Hashtbl.find_opt env l.Ast.index in
+        let v = ref l.Ast.lo in
+        while !v < l.Ast.hi do
+          spend ();
+          Hashtbl.replace env l.Ast.index !v;
+          List.iter walk l.Ast.body;
+          v := !v + l.Ast.step
+        done;
+        (match saved with
+        | Some x -> Hashtbl.replace env l.Ast.index x
+        | None -> Hashtbl.remove env l.Ast.index)
+  in
+  (try List.iter walk k.Ast.k_body with Out_of_budget -> ());
+  (Hashtbl.length reads, Hashtbl.length writes)
+
+(* ------------------------------------------------------------------ *)
+(* Area floor *)
+
+let classify_bin (op : Ast.binop) : Op_model.op_class option =
+  match op with
+  | Ast.Add | Ast.Sub -> Some Op_model.Add
+  | Ast.Mul -> Some Op_model.Mul
+  | Ast.Div | Ast.Mod -> Some Op_model.Div
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> Some Op_model.Cmp
+  | Ast.And | Ast.Or | Ast.Band | Ast.Bor | Ast.Bxor -> Some Op_model.Logic
+  | Ast.Shl | Ast.Shr -> Some Op_model.Shift_var
+  | Ast.Min | Ast.Max -> Some Op_model.Min_max
+
+let rec mentions_array (e : Ast.expr) =
+  match e with
+  | Ast.Arr _ -> true
+  | Ast.Int _ | Ast.Var _ -> false
+  | Ast.Bin (_, a, b) -> mentions_array a || mentions_array b
+  | Ast.Un (_, a) -> mentions_array a
+  | Ast.Cond (a, b, c) ->
+      mentions_array a || mentions_array b || mentions_array c
+
+(* One operator instance per class that appears with both operands
+   data-dependent in unconditional code. Such an operation survives
+   every pass (an operand holding an array value never folds to a
+   constant, so the class is stable under unrolling and replacement),
+   though CSE may share instances and temporaries may widen it — hence
+   one unit per class, charged at the narrowest width bucket. *)
+let op_floor (k : Ast.kernel) : int =
+  let classes : (Op_model.op_class, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec expr_ops (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Arr (_, subs) -> List.iter expr_ops subs
+    | Ast.Un (_, a) -> expr_ops a
+    | Ast.Cond (c, _, _) -> expr_ops c
+    | Ast.Bin (op, a, b) ->
+        expr_ops a;
+        expr_ops b;
+        if mentions_array a && mentions_array b then
+          Option.iter
+            (fun cls ->
+              if Op_model.delay_ns cls ~width:8 > 0.5 then
+                Hashtbl.replace classes cls ())
+            (classify_bin op)
+  in
+  let rec walk (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (lv, e) -> (
+        expr_ops e;
+        match lv with
+        | Ast.Lvar _ -> ()
+        | Ast.Larr (_, subs) -> List.iter expr_ops subs)
+    | Ast.If (c, _, _) -> expr_ops c
+    | Ast.Rotate _ -> ()
+    | Ast.For l -> List.iter walk l.Ast.body
+  in
+  List.iter walk k.Ast.k_body;
+  Hashtbl.fold (fun cls () s -> s + Op_model.area cls ~width:8) classes 0
+
+(* ------------------------------------------------------------------ *)
+(* Facts *)
+
+let facts ~(device : Device.t) ~(mem : Memory_model.t) (k : Ast.kernel) :
+    facts =
+  let accesses = Access.collect k.Ast.k_body in
+  let written : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Access.t) ->
+      if Access.is_write a then Hashtbl.replace written a.Access.array ())
+    accesses;
+  let live : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Access.t) ->
+      if not a.Access.guarded then
+        List.iter
+          (fun idx -> Hashtbl.replace live idx ())
+          (Access.varying_indices a))
+    accesses;
+  let rec ctl_of (body : Ast.stmt list) : ctl list =
+    List.filter_map
+      (function
+        | Ast.For l ->
+            Some
+              {
+                index = l.Ast.index;
+                trip = Ast.loop_trip l;
+                live = Hashtbl.mem live l.Ast.index;
+                inner = ctl_of l.Ast.body;
+              }
+        | _ -> None)
+      body
+  in
+  let loads, stores = footprint k ~written in
+  let min_port_cycles =
+    (loads * mem.Memory_model.read_occupancy)
+    + (stores * mem.Memory_model.write_occupancy)
+  in
+  let scalar_bits =
+    List.fold_left
+      (fun s (d : Ast.scalar_decl) -> s + Dtype.bits d.Ast.s_elem)
+      0 k.Ast.k_scalars
+  in
+  let reg_slices =
+    (scalar_bits + device.Device.ffs_per_slice - 1)
+    / device.Device.ffs_per_slice
+  in
+  let base_slices = 18 + 4 + reg_slices + op_floor k in
+  { device; mem; min_port_cycles; base_slices; ctl = ctl_of k.Ast.k_body }
+
+(* ------------------------------------------------------------------ *)
+(* Bounds at a vector *)
+
+(* Peeling strips at most 4 innermost-chain iterations (wherever the
+   cascade lands them) plus one carrier iteration per loop per
+   execution, and a residual trip of 1 folds the loop away: overhead is
+   safe only beyond 5 + 1 stripped iterations. *)
+let peel_slack = 5
+
+let bound (f : facts) ~(vector : (string * int) list) : t =
+  let factor idx =
+    match List.assoc_opt idx vector with Some u when u > 1 -> u | _ -> 1
+  in
+  (* Control cycles: the body structure of a loop executes [trip']
+     times whether unrolled, jammed or peeled; only surviving
+     iterations pay the control cycle. Ceiling division stays below
+     the divisor-clamped trip the unroller actually uses. *)
+  let rec control nodes =
+    List.fold_left
+      (fun s n ->
+        let u = factor n.index in
+        let trip' = (n.trip + u - 1) / u in
+        s + (trip' * control n.inner)
+        + (if n.live then max 0 (trip' - 1 - peel_slack) else 0))
+      0 nodes
+  in
+  let comp_cycles_lb = control f.ctl in
+  let mem_cycles_lb =
+    let m = max 1 f.device.Device.num_memories in
+    (f.min_port_cycles + m - 1) / m
+  in
+  let balance_trend =
+    if mem_cycles_lb = 0 then Float.infinity
+    else float_of_int comp_cycles_lb /. float_of_int mem_cycles_lb
+  in
+  {
+    cycles_lb = max comp_cycles_lb mem_cycles_lb;
+    mem_cycles_lb;
+    comp_cycles_lb;
+    slices_lb = f.base_slices;
+    balance_trend;
+  }
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "cycles>=%d (mem>=%d, comp>=%d) slices>=%d trend=%.3f"
+    t.cycles_lb t.mem_cycles_lb t.comp_cycles_lb t.slices_lb t.balance_trend

@@ -1,0 +1,49 @@
+(** Tier-1 analytical pre-estimator: closed-form, *admissible* lower
+    bounds on a design point's cycles and slices computed directly from
+    the source kernel and an unroll vector — no transform pipeline, no
+    DFG, no scheduling.
+
+    Admissible means that for every vector the bounds never exceed the
+    corresponding fields of the full {!Estimate.t} the two-tier engine
+    would otherwise compute, so a caller may skip full synthesis of any
+    point whose lower bound already disqualifies it (over capacity, or
+    provably slower than an incumbent) without changing which design
+    the search or the sweep selects. Three transformation-invariant cost
+    sources feed the bounds: the mandatory memory footprint (distinct
+    elements read from never-written arrays plus distinct elements
+    written, divided over the memory ports), the per-iteration loop
+    control cycles that survive unrolling and peeling, and the
+    structural area floor (memory interface, FSM, declared-scalar
+    registers, one operator per data-dependent class).
+
+    Caveats, enforced by the callers in [Dse.Design]: the bounds assume
+    the default pipeline (no tiling — strip-mining introduces loops the
+    source skeleton does not know), and vectors are normalized to the
+    divisor lattice before {!bound} is consulted. *)
+
+open Ir
+
+type t = {
+  cycles_lb : int;  (** lower bound on [Estimate.cycles] *)
+  mem_cycles_lb : int;  (** lower bound on [Estimate.mem_only_cycles] *)
+  comp_cycles_lb : int;  (** lower bound on [Estimate.comp_only_cycles] *)
+  slices_lb : int;  (** lower bound on [Estimate.slices] *)
+  balance_trend : float;
+      (** [comp_cycles_lb / mem_cycles_lb]: same shape as the balance
+          metric B, usable to anticipate which side saturates first *)
+}
+
+(** Per-kernel precomputation: the mandatory memory footprint (one
+    budget-bounded walk of the iteration space), the area floor and the
+    loop-control skeleton. Computed once; {!bound} then evaluates any
+    vector in time linear in the number of loops. *)
+type facts
+
+val facts : device:Device.t -> mem:Memory_model.t -> Ast.kernel -> facts
+
+(** Lower bounds for the design point at [vector] (unroll factors per
+    loop index; missing indices mean 1). Monotone in nothing — call it
+    per point; it is a few hundred integer operations. *)
+val bound : facts -> vector:(string * int) list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -31,3 +31,16 @@ type result = {
 }
 
 val run : ?mode:mode -> profile -> Dfg.t -> result
+
+type tri = { joint : result; mem_only : result; comp_only : result }
+
+val run_tri : profile -> Dfg.t -> tri
+(** All three schedules of one graph in a single walk over the node
+    array: the node kind is matched and the operator delay looked up
+    once per node, then each mode advances on its own state. Shares the
+    per-node scheduling helpers with {!run}, so
+    [run_tri p g = {joint = run ~mode:`Joint p g;
+                    mem_only = run ~mode:`Mem_only p g;
+                    comp_only = run ~mode:`Comp_only p g}]
+    exactly — the estimator calls this once per block instead of [run]
+    three times. *)

@@ -163,12 +163,13 @@ let patterns_of (k : kernel) : pattern list =
             | None -> Dtype.int32
           in
           let distinct =
-            List.fold_left
-              (fun acc (a : Access.t) ->
-                if List.exists (fun (b : Access.t) -> b.subs = a.subs && b.kind = a.kind) acc
-                then acc
-                else acc @ [ a ])
-              [] members
+            List.rev
+              (List.fold_left
+                 (fun acc (a : Access.t) ->
+                   if List.exists (fun (b : Access.t) -> b.subs = a.subs && b.kind = a.kind) acc
+                   then acc
+                   else a :: acc)
+                 [] members)
           in
           let varying =
             List.filter
@@ -265,11 +266,12 @@ let try_hoist (k : kernel) (st : state) (p : pattern) (others : pattern list) =
     (* Hoist each distinct member to just inside the deepest varying
        loop (or outside the whole nest when invariant everywhere). *)
     let member_exprs =
-      List.fold_left
-        (fun acc (a : Access.t) ->
-          if List.exists (fun s -> s = a.Access.subs) acc then acc
-          else acc @ [ a.subs ])
-        [] p.members
+      List.rev
+        (List.fold_left
+           (fun acc (a : Access.t) ->
+             if List.exists (fun s -> s = a.Access.subs) acc then acc
+             else a.subs :: acc)
+           [] p.members)
     in
     List.iter
       (fun subs ->
@@ -445,20 +447,23 @@ let try_chains ~(config : config) (st : state) (p : pattern) =
          && p.has_reads && (not p.has_writes)
          && (not (List.mem p.array written))
          && not p.any_guarded ->
-      (* Partition members into chain classes by consistent distance. *)
-      let classes : Access.t list list ref = ref [] in
+      (* Partition members into chain classes by consistent distance.
+         Each class carries its representative (the first member) next
+         to a reverse-accumulated member list, so insertion is O(1);
+         document order is restored once, after partitioning. *)
+      let classes : (Access.t * Access.t list) list ref = ref [] in
       List.iter
         (fun (a : Access.t) ->
           let rec insert = function
-            | [] -> [ [ a ] ]
-            | (m :: _ as cls) :: rest -> (
+            | [] -> [ (a, [ a ]) ]
+            | (m, cls) :: rest -> (
                 match chain_distance inner m a with
-                | Some _ -> (cls @ [ a ]) :: rest
-                | None -> cls :: insert rest)
-            | [] :: rest -> [ a ] :: rest
+                | Some _ -> (m, a :: cls) :: rest
+                | None -> (m, cls) :: insert rest)
           in
           classes := insert !classes)
         p.members;
+      let classes = List.map (fun (_, cls) -> List.rev cls) !classes in
       List.iter
         (fun cls ->
           match cls with
@@ -536,7 +541,7 @@ let try_chains ~(config : config) (st : state) (p : pattern) =
                     innermost_peels = max st.report.innermost_peels span;
                   }
               end)
-        !classes
+        classes
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
