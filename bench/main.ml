@@ -158,6 +158,7 @@ let fraction () =
     "space" "searched" "selected" "vs best";
   let total = ref 0 and totsp = ref 0 in
   let evals = ref 0 and hits = ref 0 and pruned = ref 0 in
+  let smhits = ref 0 in
   List.iter
     (fun pipelined ->
       List.iter
@@ -172,6 +173,7 @@ let fraction () =
           evals := !evals + c.Design.stats.Design.evaluations;
           hits := !hits + c.Design.stats.Design.cache_hits;
           pruned := !pruned + sp.Space.pruned;
+          smhits := !smhits + c.Design.stats.Design.sched_memo_hits;
           let best = Option.get (Space.best_fitting c sp) in
           let ratio =
             float_of_int (Design.cycles r.Search.selected)
@@ -191,8 +193,9 @@ let fraction () =
     (100.0 *. float_of_int !total /. float_of_int !totsp);
   Printf.printf
     "# stats: %d designs synthesized, %d served from the evaluation cache, \
-     %d sweep points pruned by quick estimates\n"
-    !evals !hits !pruned;
+     %d sweep points pruned by quick estimates, %d block tri-schedules \
+     served from the fingerprint memo\n"
+    !evals !hits !pruned !smhits;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -215,8 +218,8 @@ let dse_json () =
   in
   let mp = sweep_product () in
   Printf.printf "## json: DSE performance counters -> %s\n" file;
-  Printf.printf "%-8s %10s %8s %12s %12s %8s %8s\n" "kernel" "search(ms)"
-    "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned";
+  Printf.printf "%-8s %10s %8s %12s %12s %8s %8s %8s\n" "kernel" "search(ms)"
+    "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned" "smhits";
   let entries =
     List.map
       (fun name ->
@@ -237,11 +240,17 @@ let dse_json () =
         let t_pruned = Dse.Util.now () -. t0 in
         let best_full = Option.get (Space.best_fitting c_full sp_full) in
         let best_pruned = Option.get (Space.best_fitting c_pruned sp_pruned) in
-        Printf.printf "%-8s %10.1f %8d %12.1f %12.1f %8d %8d\n" name
+        let sched_memo_hits =
+          c.Design.stats.Design.sched_memo_hits
+          + c_full.Design.stats.Design.sched_memo_hits
+          + c_pruned.Design.stats.Design.sched_memo_hits
+        in
+        Printf.printf "%-8s %10.1f %8d %12.1f %12.1f %8d %8d %8d\n" name
           (1000.0 *. t_search)
           r.Search.stats.Design.evaluations
           (1000.0 *. t_full) (1000.0 *. t_pruned)
-          c_pruned.Design.stats.Design.evaluations sp_pruned.Space.pruned;
+          c_pruned.Design.stats.Design.evaluations sp_pruned.Space.pruned
+          sched_memo_hits;
         json_of_fields
           [
             ("kernel", Printf.sprintf "%S" name);
@@ -265,6 +274,22 @@ let dse_json () =
             ( "quick_estimates",
               string_of_int c_pruned.Design.stats.Design.quick_estimates );
             ("pruned", string_of_int sp_pruned.Space.pruned);
+            ("sched_memo_hits", string_of_int sched_memo_hits);
+            ( "search_sched_memo_hits",
+              string_of_int r.Search.stats.Design.sched_memo_hits );
+            ( "sweep_sched_memo_hits_full",
+              string_of_int c_full.Design.stats.Design.sched_memo_hits );
+            ( "sweep_sched_memo_hits_pruned",
+              string_of_int c_pruned.Design.stats.Design.sched_memo_hits );
+            ( "sweep_sched_memo_shapes_full",
+              string_of_int (Design.sched_memo_size c_full) );
+            ( "sweep_dfg_seconds_full",
+              Printf.sprintf "%.6f" c_full.Design.stats.Design.dfg_seconds );
+            ( "sweep_schedule_seconds_full",
+              Printf.sprintf "%.6f" c_full.Design.stats.Design.schedule_seconds
+            );
+            ( "sweep_layout_seconds_full",
+              Printf.sprintf "%.6f" c_full.Design.stats.Design.layout_seconds );
             ( "best_cycles_full",
               string_of_int (Design.cycles best_full.Space.point) );
             ( "best_cycles_pruned",

@@ -119,7 +119,15 @@ let report_arg =
   let doc = "Write a full markdown exploration report to $(docv) ('-' for stdout)." in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let explore kernel file non_pipelined memories capacity report =
+let profile_arg =
+  let doc =
+    "Print the estimator's per-stage wall-time split (dfg construction, \
+     scheduling, data layout) and the content-addressed scheduler memo \
+     counters after the search."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let explore kernel file non_pipelined memories capacity report prof =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
   let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
@@ -155,14 +163,20 @@ let explore kernel file non_pipelined memories capacity report =
   Format.printf "baseline: %a@." Dse.Design.pp_point base;
   Format.printf "speedup over baseline: %.2fx@."
     (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected));
-  Format.printf "stats: %a@." Dse.Design.pp_stats r.stats
+  Format.printf "stats: %a@." Dse.Design.pp_stats r.stats;
+  if prof then begin
+    Format.printf "profile: %a@." Dse.Design.pp_profile
+      ctx.Dse.Design.stats;
+    Format.printf "profile: %d distinct block shapes in the scheduler memo@."
+      (Dse.Design.sched_memo_size ctx)
+  end
 
 let explore_cmd =
   let doc = "Run the balance-guided design space exploration (Figure 2)." in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const explore $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ report_arg)
+      $ capacity_arg $ report_arg $ profile_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)

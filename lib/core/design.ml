@@ -27,6 +27,14 @@ type stats = {
           the point (over capacity or provably behind the incumbent) *)
   mutable transform_seconds : float;  (** wall time in the transform pipeline *)
   mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
+  mutable dfg_seconds : float;  (** estimator time building DFGs *)
+  mutable schedule_seconds : float;
+      (** estimator time in the tri-mode scheduler (memo hits pay only
+          the fingerprint) *)
+  mutable layout_seconds : float;  (** estimator time in the data layout *)
+  mutable sched_memo_hits : int;
+      (** blocks whose tri-schedule was served content-addressed from
+          the fingerprint memo instead of being scheduled *)
 }
 
 let fresh_stats () =
@@ -37,6 +45,10 @@ let fresh_stats () =
     pruned = 0;
     transform_seconds = 0.0;
     estimate_seconds = 0.0;
+    dfg_seconds = 0.0;
+    schedule_seconds = 0.0;
+    layout_seconds = 0.0;
+    sched_memo_hits = 0;
   }
 
 type context = {
@@ -49,6 +61,11 @@ type context = {
   pipeline : Transform.Pipeline.options;  (** base options (vector is set per point) *)
   cache : ((string * int) list, point) Hashtbl.t;
       (** evaluation memo, keyed on the normalized vector *)
+  sched_memo : Hls.Schedule.memo;
+      (** content-addressed tri-schedule table keyed on
+          {!Hls.Dfg.fingerprint}: each distinct block shape is scheduled
+          once per context — across blocks of one point, across lattice
+          points, and (via {!fork}/{!absorb}) across sweep domains *)
   quick_facts : Hls.Quick.facts option Lazy.t;
       (** tier-1 pre-estimator facts; [None] when the pipeline tiles
           (strip-mining adds loops the source skeleton cannot see) *)
@@ -69,6 +86,7 @@ let context ?(pipeline = Transform.Pipeline.default)
         spine;
     pipeline;
     cache = Hashtbl.create 64;
+    sched_memo = Hls.Schedule.memo_create ();
     quick_facts =
       lazy
         (if pipeline.Transform.Pipeline.tile <> None then None
@@ -127,11 +145,23 @@ let evaluate_uncached (ctx : context) (v : (string * int) list) : point =
   let t0 = Util.now () in
   let r = Transform.Pipeline.apply opts ctx.source in
   let t1 = Util.now () in
-  let estimate = Hls.Estimate.estimate ctx.profile r.Transform.Pipeline.kernel in
+  let timers = Hls.Estimate.fresh_timers () in
+  let estimate =
+    Hls.Estimate.estimate ~sched_memo:ctx.sched_memo ~timers ctx.profile
+      r.Transform.Pipeline.kernel
+  in
   let t2 = Util.now () in
   ctx.stats.evaluations <- ctx.stats.evaluations + 1;
   ctx.stats.transform_seconds <- ctx.stats.transform_seconds +. (t1 -. t0);
   ctx.stats.estimate_seconds <- ctx.stats.estimate_seconds +. (t2 -. t1);
+  ctx.stats.dfg_seconds <-
+    ctx.stats.dfg_seconds +. timers.Hls.Estimate.dfg_seconds;
+  ctx.stats.schedule_seconds <-
+    ctx.stats.schedule_seconds +. timers.Hls.Estimate.schedule_seconds;
+  ctx.stats.layout_seconds <-
+    ctx.stats.layout_seconds +. timers.Hls.Estimate.layout_seconds;
+  ctx.stats.sched_memo_hits <-
+    ctx.stats.sched_memo_hits + timers.Hls.Estimate.sched_memo_hits;
   {
     vector = v;
     kernel = r.Transform.Pipeline.kernel;
@@ -174,13 +204,21 @@ let note_pruned (ctx : context) =
 (* Cache and statistics plumbing *)
 
 let cache_size (ctx : context) = Hashtbl.length ctx.cache
+
+(** Distinct block shapes whose tri-schedule is memoized. *)
+let sched_memo_size (ctx : context) = Hls.Schedule.memo_size ctx.sched_memo
+
 let reset_stats (ctx : context) =
   ctx.stats.evaluations <- 0;
   ctx.stats.cache_hits <- 0;
   ctx.stats.quick_estimates <- 0;
   ctx.stats.pruned <- 0;
   ctx.stats.transform_seconds <- 0.0;
-  ctx.stats.estimate_seconds <- 0.0
+  ctx.stats.estimate_seconds <- 0.0;
+  ctx.stats.dfg_seconds <- 0.0;
+  ctx.stats.schedule_seconds <- 0.0;
+  ctx.stats.layout_seconds <- 0.0;
+  ctx.stats.sched_memo_hits <- 0
 
 (** Immutable copy of the context's counters (for before/after deltas). *)
 let stats_snapshot (ctx : context) : stats =
@@ -191,6 +229,10 @@ let stats_snapshot (ctx : context) : stats =
     pruned = ctx.stats.pruned;
     transform_seconds = ctx.stats.transform_seconds;
     estimate_seconds = ctx.stats.estimate_seconds;
+    dfg_seconds = ctx.stats.dfg_seconds;
+    schedule_seconds = ctx.stats.schedule_seconds;
+    layout_seconds = ctx.stats.layout_seconds;
+    sched_memo_hits = ctx.stats.sched_memo_hits;
   }
 
 let stats_diff ~(before : stats) ~(after : stats) : stats =
@@ -201,6 +243,10 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
     pruned = after.pruned - before.pruned;
     transform_seconds = after.transform_seconds -. before.transform_seconds;
     estimate_seconds = after.estimate_seconds -. before.estimate_seconds;
+    dfg_seconds = after.dfg_seconds -. before.dfg_seconds;
+    schedule_seconds = after.schedule_seconds -. before.schedule_seconds;
+    layout_seconds = after.layout_seconds -. before.layout_seconds;
+    sched_memo_hits = after.sched_memo_hits - before.sched_memo_hits;
   }
 
 (** A private copy of [ctx] for one domain of a parallel sweep: shares
@@ -211,14 +257,20 @@ let fork (ctx : context) : context =
   (* Lazy.force is not domain-safe: settle the shared suspension here,
      on the forking side, before any domain can race on it. *)
   ignore (Lazy.force ctx.quick_facts);
-  { ctx with cache = Hashtbl.copy ctx.cache; stats = fresh_stats () }
+  {
+    ctx with
+    cache = Hashtbl.copy ctx.cache;
+    sched_memo = Hls.Schedule.memo_copy ctx.sched_memo;
+    stats = fresh_stats ();
+  }
 
-(** Merge a fork's cache entries and counters back into [into]
-    (entries already present in [into] are kept as-is). *)
+(** Merge a fork's cache entries, tri-schedule memo and counters back
+    into [into] (entries already present in [into] are kept as-is). *)
 let absorb ~(into : context) (forked : context) : unit =
   Hashtbl.iter
     (fun k p -> if not (Hashtbl.mem into.cache k) then Hashtbl.replace into.cache k p)
     forked.cache;
+  Hls.Schedule.memo_absorb ~into:into.sched_memo forked.sched_memo;
   into.stats.evaluations <- into.stats.evaluations + forked.stats.evaluations;
   into.stats.cache_hits <- into.stats.cache_hits + forked.stats.cache_hits;
   into.stats.quick_estimates <-
@@ -227,7 +279,14 @@ let absorb ~(into : context) (forked : context) : unit =
   into.stats.transform_seconds <-
     into.stats.transform_seconds +. forked.stats.transform_seconds;
   into.stats.estimate_seconds <-
-    into.stats.estimate_seconds +. forked.stats.estimate_seconds
+    into.stats.estimate_seconds +. forked.stats.estimate_seconds;
+  into.stats.dfg_seconds <- into.stats.dfg_seconds +. forked.stats.dfg_seconds;
+  into.stats.schedule_seconds <-
+    into.stats.schedule_seconds +. forked.stats.schedule_seconds;
+  into.stats.layout_seconds <-
+    into.stats.layout_seconds +. forked.stats.layout_seconds;
+  into.stats.sched_memo_hits <-
+    into.stats.sched_memo_hits + forked.stats.sched_memo_hits
 
 let balance (p : point) = p.estimate.Hls.Estimate.balance
 let space (p : point) = p.estimate.Hls.Estimate.slices
@@ -244,7 +303,27 @@ let pp_point fmt p =
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "%d synthesized, %d cache hits, %d quick estimates, %d pruned (transform %.1f ms, estimate %.1f ms)"
-    s.evaluations s.cache_hits s.quick_estimates s.pruned
+    "%d synthesized, %d cache hits, %d quick estimates, %d pruned, %d sched \
+     memo hits (transform %.1f ms, estimate %.1f ms)"
+    s.evaluations s.cache_hits s.quick_estimates s.pruned s.sched_memo_hits
     (1000.0 *. s.transform_seconds)
     (1000.0 *. s.estimate_seconds)
+
+(** Per-stage wall-time split of the estimator (the [--profile] view):
+    DFG construction, scheduling, data layout, and whatever remains of
+    [estimate_seconds] (region walk, area fold). *)
+let pp_profile fmt (s : stats) =
+  let other =
+    Float.max 0.0
+      (s.estimate_seconds -. s.dfg_seconds -. s.schedule_seconds
+     -. s.layout_seconds)
+  in
+  Format.fprintf fmt
+    "transform %.1f ms; estimate %.1f ms = dfg %.1f + schedule %.1f + layout \
+     %.1f + other %.1f; %d tri-schedules served from the fingerprint memo"
+    (1000.0 *. s.transform_seconds)
+    (1000.0 *. s.estimate_seconds)
+    (1000.0 *. s.dfg_seconds)
+    (1000.0 *. s.schedule_seconds)
+    (1000.0 *. s.layout_seconds)
+    (1000.0 *. other) s.sched_memo_hits

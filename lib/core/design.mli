@@ -27,6 +27,14 @@ type stats = {
           disqualified the point *)
   mutable transform_seconds : float;  (** wall time in the transform pipeline *)
   mutable estimate_seconds : float;  (** wall time in the synthesis estimator *)
+  mutable dfg_seconds : float;  (** estimator time building DFGs *)
+  mutable schedule_seconds : float;
+      (** estimator time in the tri-mode scheduler (memo hits pay only
+          the fingerprint) *)
+  mutable layout_seconds : float;  (** estimator time in the data layout *)
+  mutable sched_memo_hits : int;
+      (** blocks whose tri-schedule was served content-addressed from
+          the fingerprint memo instead of being scheduled *)
 }
 
 val fresh_stats : unit -> stats
@@ -45,6 +53,13 @@ type context = {
           [pipeline] or [profile] with a record update invalidates the
           cached points — build a fresh context with {!context} instead
           (updating [capacity] is fine: it does not enter evaluation). *)
+  sched_memo : Hls.Schedule.memo;
+      (** content-addressed tri-schedule table keyed on
+          {!Hls.Dfg.fingerprint}: each distinct block shape is scheduled
+          once per context — across blocks of one point, across lattice
+          points, and (via {!fork}/{!absorb}) across sweep domains. The
+          memo is exact, so estimates are bit-identical with or without
+          it. Like [cache], it is tied to [pipeline]/[profile]. *)
   quick_facts : Hls.Quick.facts option Lazy.t;
       (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
   stats : stats;
@@ -100,6 +115,9 @@ val note_pruned : context -> unit
 (** Number of distinct designs currently memoized. *)
 val cache_size : context -> int
 
+(** Number of distinct block shapes whose tri-schedule is memoized. *)
+val sched_memo_size : context -> int
+
 val reset_stats : context -> unit
 
 (** Immutable copy of the context's counters (for before/after deltas). *)
@@ -122,3 +140,7 @@ val fits : context -> point -> bool
 val pp_vector : Format.formatter -> (string * int) list -> unit
 val pp_point : Format.formatter -> point -> unit
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Per-stage wall-time split of the estimator (dfg / schedule / layout
+    / other) plus the scheduler-memo hit count — the [--profile] view. *)
+val pp_profile : Format.formatter -> stats -> unit

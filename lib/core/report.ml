@@ -63,11 +63,17 @@ let render fmt (r : t) =
   Format.fprintf fmt
     "- designs synthesized: %d (%d cache hits)@.- quick estimates: %d; \
      points pruned without synthesis: %d@.- transform time: %.1f ms; \
-     estimate time: %.1f ms@.- designs memoized in the context: %d@.@."
+     estimate time: %.1f ms (dfg %.1f, schedule %.1f, layout %.1f)@.- \
+     scheduler memo: %d block tri-schedules served content-addressed; %d \
+     distinct shapes memoized@.- designs memoized in the context: %d@.@."
     st.Design.evaluations st.Design.cache_hits st.Design.quick_estimates
     st.Design.pruned
     (1000.0 *. st.Design.transform_seconds)
     (1000.0 *. st.Design.estimate_seconds)
+    (1000.0 *. st.Design.dfg_seconds)
+    (1000.0 *. st.Design.schedule_seconds)
+    (1000.0 *. st.Design.layout_seconds)
+    st.Design.sched_memo_hits (Design.sched_memo_size ctx)
     (Design.cache_size ctx);
   Format.fprintf fmt "## Selected design: %a@.@." pp_vector sel.Design.vector;
   let e = sel.Design.estimate in

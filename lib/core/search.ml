@@ -37,6 +37,15 @@ type result = {
 (* ------------------------------------------------------------------ *)
 (* Vector enumeration within bounds *)
 
+(* Divisor lists come from the context's precomputed [spine_divisors]
+   tables: these helpers run on every Increase/SelectBetween move of the
+   search, so recomputing [Util.divisors] per loop per call is pure
+   waste. *)
+let spine_divisors_of (ctx : Design.context) (l : Ast.loop) : int list =
+  match List.assoc_opt l.index ctx.Design.spine_divisors with
+  | Some ds -> ds
+  | None -> Util.divisors (Ast.loop_trip l)
+
 let vectors_between (ctx : Design.context) (sat : Saturation.t) ~lower ~upper
     ~product : (string * int) list list =
   let lo i = Option.value ~default:1 (List.assoc_opt i lower) in
@@ -45,9 +54,8 @@ let vectors_between (ctx : Design.context) (sat : Saturation.t) ~lower ~upper
     match loops with
     | [] -> if target = 1 then [ [] ] else []
     | (l : Ast.loop) :: rest ->
-        let trip = Ast.loop_trip l in
         let cands =
-          Util.divisors trip
+          spine_divisors_of ctx l
           |> List.filter (fun d ->
                  d >= lo l.index && d <= hi l.index && target mod d = 0)
         in
@@ -70,9 +78,8 @@ let achievable_products (ctx : Design.context) (sat : Saturation.t) ~upper :
     | (l : Ast.loop) :: rest ->
         if not (List.mem l.index sat.Saturation.eligible) then go rest acc
         else begin
-          let trip = Ast.loop_trip l in
           let cap = Option.value ~default:1 (List.assoc_opt l.index upper) in
-          let ds = List.filter (fun d -> d <= cap) (Util.divisors trip) in
+          let ds = List.filter (fun d -> d <= cap) (spine_divisors_of ctx l) in
           go rest
             (List.sort_uniq compare
                (List.concat_map (fun p -> List.map (fun d -> p * d) ds) acc))

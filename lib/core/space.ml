@@ -44,24 +44,32 @@ type t = {
     MM's innermost loop is excluded exactly as in the paper. The product
     bound is enforced *during* the recursion — factors are all >= 1, so a
     prefix already over the bound cannot be completed — which keeps deep
-    nests from materializing the full cross-product first. *)
+    nests from materializing the full cross-product first.
+
+    Divisor lists come from the context's precomputed
+    [spine_divisors] tables (one [Util.divisors] per loop per context,
+    not per call), and the enumeration is accumulator-style: each
+    completed vector is consed onto the accumulator exactly once and the
+    whole list reversed at the end, so no per-level intermediate
+    cross-products are materialized. The output order is the same
+    lexicographic (ascending-divisor) order as a nested [concat_map]. *)
 let divisor_vectors ?(max_product = max_int) (ctx : Design.context)
     ~(eligible : string list) : (string * int) list list =
-  let rec go loops budget =
-    match loops with
-    | [] -> [ [] ]
-    | (l : Ast.loop) :: rest ->
-        let trip = Ast.loop_trip l in
-        let ds =
-          if List.mem l.index eligible then
-            List.filter (fun d -> d <= budget) (Util.divisors trip)
-          else [ 1 ]
-        in
-        List.concat_map
-          (fun d -> List.map (fun tl -> (l.index, d) :: tl) (go rest (budget / d)))
-          ds
+  let rec go loops divs budget prefix acc =
+    match (loops, divs) with
+    | [], _ -> List.rev prefix :: acc
+    | (l : Ast.loop) :: rest, (_, ds) :: rest_divs ->
+        if List.mem l.index eligible then
+          List.fold_left
+            (fun acc d ->
+              if d > budget then acc
+              else go rest rest_divs (budget / d) ((l.index, d) :: prefix) acc)
+            acc ds
+        else go rest rest_divs budget ((l.index, 1) :: prefix) acc
+    | _ :: _, [] ->
+        invalid_arg "divisor_vectors: spine and spine_divisors disagree"
   in
-  go ctx.Design.spine max_product
+  List.rev (go ctx.Design.spine ctx.Design.spine_divisors max_product [] [])
 
 (* Evaluate [vectors] on [jobs] domains. Work is handed out in chunks
    from an atomic cursor; each domain writes its results at the vectors'

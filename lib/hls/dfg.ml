@@ -86,31 +86,44 @@ let pop_access cur array kind =
               a.Access.array))
   | [] -> raise (Desync ("cursor exhausted at " ^ array))
 
+(* Environments are hash tables rather than assoc lists: large unrolled
+   blocks define thousands of scalars, and a [List.assoc_opt] +
+   [List.remove_assoc] per statement turns construction quadratic on
+   exactly the points the search probes. [defs] stays a mutable field so
+   the [If] merge can snapshot/restore it with [Hashtbl.copy] (branches
+   are rare; statements are not). *)
 type builder = {
   k : Ast.kernel;
   mem_of : Access.t -> int;
   cur : cursor;
-  mutable nodes : node list;  (* reversed *)
+  mutable nodes : node array;  (* first [count] slots live; doubled on demand *)
   mutable count : int;
-  mutable defs : (string * int) list;  (* scalar -> defining node *)
-  mutable inputs : (string * int) list;  (* scalar -> shared Source node *)
-  mutable last_store : (string * int) list;  (* array -> last store node *)
-  mutable loads_since : (string * int list) list;  (* array -> loads after it *)
+  mutable defs : (string, int) Hashtbl.t;  (* scalar -> defining node *)
+  inputs : (string, int) Hashtbl.t;  (* scalar -> shared Source node *)
+  last_store : (string, int) Hashtbl.t;  (* array -> last store node *)
+  loads_since : (string, int list) Hashtbl.t;  (* array -> loads after it *)
   mutable guards : (int * bool) list;  (* active predication context *)
 }
 
+let dummy_node = { id = -1; kind = Source (Const 0); preds = [] }
+
 let add b kind preds =
   let id = b.count in
+  if id = Array.length b.nodes then begin
+    let bigger = Array.make (max 16 (2 * id)) dummy_node in
+    Array.blit b.nodes 0 bigger 0 id;
+    b.nodes <- bigger
+  end;
+  b.nodes.(id) <- { id; kind; preds };
   b.count <- id + 1;
-  b.nodes <- { id; kind; preds } :: b.nodes;
   id
 
 let scalar_input b v =
-  match List.assoc_opt v b.inputs with
+  match Hashtbl.find_opt b.inputs v with
   | Some id -> id
   | None ->
       let id = add b (Source (Scalar v)) [] in
-      b.inputs <- (v, id) :: b.inputs;
+      Hashtbl.replace b.inputs v id;
       id
 
 let width_of b e = Dtype.bits (Ast.expr_type b.k e)
@@ -147,16 +160,16 @@ let array_info b name =
   | None -> (32, [ 0 ])
 
 let note_load b array id =
-  let cur = Option.value ~default:[] (List.assoc_opt array b.loads_since) in
-  b.loads_since <- (array, id :: cur) :: List.remove_assoc array b.loads_since
+  let cur = Option.value ~default:[] (Hashtbl.find_opt b.loads_since array) in
+  Hashtbl.replace b.loads_since array (id :: cur)
 
 let order_preds_for_load b array =
-  match List.assoc_opt array b.last_store with Some s -> [ s ] | None -> []
+  match Hashtbl.find_opt b.last_store array with Some s -> [ s ] | None -> []
 
 let order_preds_for_store b array =
-  let loads = Option.value ~default:[] (List.assoc_opt array b.loads_since) in
+  let loads = Option.value ~default:[] (Hashtbl.find_opt b.loads_since array) in
   let st =
-    match List.assoc_opt array b.last_store with Some s -> [ s ] | None -> []
+    match Hashtbl.find_opt b.last_store array with Some s -> [ s ] | None -> []
   in
   loads @ st
 
@@ -164,7 +177,7 @@ let rec build_expr b (e : Ast.expr) : int =
   match e with
   | Ast.Int n -> add b (Source (Const n)) []
   | Ast.Var v -> (
-      match List.assoc_opt v b.defs with
+      match Hashtbl.find_opt b.defs v with
       | Some id -> id
       | None -> scalar_input b v)
   | Ast.Arr (array, subs) ->
@@ -244,7 +257,7 @@ let rec build_stmt b (s : Ast.stmt) : unit =
   | Ast.Assign (Ast.Lvar v, e) ->
       let n = build_expr b e in
       let w = add b (Reg_write { scalar = v; value = n }) [ n ] in
-      b.defs <- (v, w) :: List.remove_assoc v b.defs
+      Hashtbl.replace b.defs v w
   | Ast.Assign (Ast.Larr (array, subs), e) ->
       let n = build_expr b e in
       let addr = build_address b array subs in
@@ -256,41 +269,45 @@ let rec build_stmt b (s : Ast.stmt) : unit =
           (Store { array; mem; width; addr; value = n; guards = b.guards })
           ((n :: addr :: order_preds_for_store b array))
       in
-      b.last_store <- (array, id) :: List.remove_assoc array b.last_store;
-      b.loads_since <- List.remove_assoc array b.loads_since
+      Hashtbl.replace b.last_store array id;
+      Hashtbl.remove b.loads_since array
   | Ast.If (c, t, el) ->
       let nc = build_expr b c in
       let before = b.defs in
       let outer_guards = b.guards in
+      b.defs <- Hashtbl.copy before;
       b.guards <- (nc, true) :: outer_guards;
       List.iter (build_stmt b) t;
       let after_then = b.defs in
-      b.defs <- before;
+      b.defs <- Hashtbl.copy before;
       b.guards <- (nc, false) :: outer_guards;
       List.iter (build_stmt b) el;
       b.guards <- outer_guards;
       let after_else = b.defs in
-      (* Merge scalar definitions through muxes. *)
+      (* Merge scalar definitions through muxes. Sorted, so the mux
+         emission order (hence node numbering) is deterministic. *)
+      let changed tbl =
+        Hashtbl.fold
+          (fun v id acc ->
+            if Hashtbl.find_opt before v <> Some id then v :: acc else acc)
+          tbl []
+      in
       let assigned =
-        List.sort_uniq compare
-          (List.filter_map
-             (fun (v, id) ->
-               if List.assoc_opt v before <> Some id then Some v else None)
-             (after_then @ after_else))
+        List.sort_uniq compare (changed after_then @ changed after_else)
       in
       b.defs <- after_else;
       List.iter
         (fun v ->
           let old () =
-            match List.assoc_opt v before with
+            match Hashtbl.find_opt before v with
             | Some id -> id
             | None -> scalar_input b v
           in
           let th =
-            match List.assoc_opt v after_then with Some id -> id | None -> old ()
+            match Hashtbl.find_opt after_then v with Some id -> id | None -> old ()
           in
           let el' =
-            match List.assoc_opt v after_else with Some id -> id | None -> old ()
+            match Hashtbl.find_opt after_else v with Some id -> id | None -> old ()
           in
           if th <> el' then begin
             let w =
@@ -303,12 +320,12 @@ let rec build_stmt b (s : Ast.stmt) : unit =
                 (Op { sem = Smux; cls = Op_model.Mux; width = w })
                 [ nc; th; el' ]
             in
-            b.defs <- (v, m) :: List.remove_assoc v b.defs
+            Hashtbl.replace b.defs v m
           end)
         assigned
   | Ast.Rotate rs ->
       let pre = List.map (fun r ->
-          match List.assoc_opt r b.defs with
+          match Hashtbl.find_opt b.defs r with
           | Some id -> id
           | None -> scalar_input b r) rs
       in
@@ -316,7 +333,7 @@ let rec build_stmt b (s : Ast.stmt) : unit =
       List.iteri
         (fun i r ->
           let out = add b (Move_out { move = mid; index = i }) [ mid ] in
-          b.defs <- (r, out) :: List.remove_assoc r b.defs)
+          Hashtbl.replace b.defs r out)
         rs
   | Ast.For _ -> invalid_arg "Dfg.of_block: loops must be factored out"
 
@@ -331,20 +348,66 @@ let of_block_with_defs ~(kernel : Ast.kernel) ~(mem_of : Access.t -> int)
       k = kernel;
       mem_of;
       cur = cursor;
-      nodes = [];
+      nodes = Array.make 64 dummy_node;
       count = 0;
-      defs = [];
-      inputs = [];
-      last_store = [];
-      loads_since = [];
+      defs = Hashtbl.create 32;
+      inputs = Hashtbl.create 32;
+      last_store = Hashtbl.create 8;
+      loads_since = Hashtbl.create 8;
       guards = [];
     }
   in
   List.iter (build_stmt b) stmts;
-  ({ nodes = Array.of_list (List.rev b.nodes) }, b.defs)
+  let defs =
+    Hashtbl.fold (fun v id acc -> (v, id) :: acc) b.defs []
+    |> List.sort compare
+  in
+  ({ nodes = Array.sub b.nodes 0 b.count }, defs)
 
 let of_block ~kernel ~mem_of ~cursor stmts =
   fst (of_block_with_defs ~kernel ~mem_of ~cursor stmts)
+
+(** Canonical structural fingerprint: a compact, unambiguous encoding of
+    exactly the schedule-relevant projection of every node — the kind
+    tag, operator class and width for [Op], memory id and width for
+    [Load]/[Store], and the predecessor ids. Scalar and array names,
+    constant values, semantic operations and store guard polarities are
+    deliberately excluded (the {!Schedule} walker never reads them), so
+    copies of a block differing only by scalar renaming or by
+    iteration-shifted address constants collide, while two graphs with
+    the same fingerprint schedule identically under every profile. Every
+    integer field is comma-terminated and fields occupy fixed positions
+    after the kind tag, so the encoding is injective on the projection. *)
+let fingerprint (g : t) : string =
+  let buf = Buffer.create (64 + (8 * Array.length g.nodes)) in
+  let int n =
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf ','
+  in
+  Array.iter
+    (fun n ->
+      (match n.kind with
+      | Source _ -> Buffer.add_char buf 's'
+      | Op { cls; width; _ } ->
+          Buffer.add_char buf 'o';
+          Buffer.add_string buf (Op_model.class_name cls);
+          Buffer.add_char buf ':';
+          int width
+      | Load { mem; width; _ } ->
+          Buffer.add_char buf 'l';
+          int mem;
+          int width
+      | Store { mem; width; _ } ->
+          Buffer.add_char buf 't';
+          int mem;
+          int width
+      | Move _ -> Buffer.add_char buf 'm'
+      | Move_out _ -> Buffer.add_char buf 'x'
+      | Reg_write _ -> Buffer.add_char buf 'r');
+      List.iter int n.preds;
+      Buffer.add_char buf ';')
+    g.nodes;
+  Buffer.contents buf
 
 let n_loads (g : t) =
   Array.fold_left

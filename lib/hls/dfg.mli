@@ -72,5 +72,14 @@ val of_block :
   Ast.stmt list ->
   t
 
+(** Canonical structural fingerprint of a graph: encodes exactly the
+    schedule-relevant projection (node kind, operator class/width,
+    memory id/width, predecessor ids) and nothing else. Invariant under
+    scalar/array renaming and constant shifts, so iteration-shifted
+    copies of one block collide; injective on the projection, so two
+    graphs with the same fingerprint produce bit-identical
+    {!Schedule.run_tri} results under any profile. *)
+val fingerprint : t -> string
+
 val n_loads : t -> int
 val n_stores : t -> int

@@ -48,6 +48,28 @@ type t = {
 
 let loop_overhead_cycles = 1
 
+(** Per-stage accounting for one or more [estimate] calls: wall time
+    spent building DFGs, scheduling them (memo hits cost only the
+    fingerprint), and assigning the data layout, plus how many blocks
+    were served from the tri-schedule memo. The caller owns the record
+    and may accumulate across calls. *)
+type stage_timers = {
+  mutable dfg_seconds : float;
+  mutable schedule_seconds : float;
+  mutable layout_seconds : float;
+  mutable sched_memo_hits : int;
+}
+
+let fresh_timers () =
+  {
+    dfg_seconds = 0.0;
+    schedule_seconds = 0.0;
+    layout_seconds = 0.0;
+    sched_memo_hits = 0;
+  }
+
+let now () = Unix.gettimeofday ()
+
 (* Region walk: returns (joint, mem_only, comp_only, bits) as executed
    totals; mutates [usage], [states], [loops]. *)
 type acc = {
@@ -63,12 +85,17 @@ let merge_usage acc u =
       Hashtbl.replace acc.usage key (max cur n))
     u
 
-let estimate (p : profile) (kernel : Ast.kernel) : t =
+let estimate ?(sched_memo : Schedule.memo option)
+    ?(timers : stage_timers option) (p : profile) (kernel : Ast.kernel) : t =
   let sched_profile = { Schedule.device = p.device; mem = p.mem; chaining = p.chaining } in
   let accesses = Access.collect kernel.k_body in
+  let t0 = now () in
   let layout =
     Layout.assign ~num_memories:p.device.Device.num_memories kernel accesses
   in
+  (match timers with
+  | Some ts -> ts.layout_seconds <- ts.layout_seconds +. (now () -. t0)
+  | None -> ());
   let mem_of a = Layout.memory_of layout a in
   let cursor = Dfg.cursor_of accesses in
   let acc = { usage = Hashtbl.create 16; states = 0; loops = 0 } in
@@ -78,14 +105,24 @@ let estimate (p : profile) (kernel : Ast.kernel) : t =
       match List.rev chunk with
       | [] -> (j, m, c, b)
       | stmts ->
+          let t0 = now () in
           let g = Dfg.of_block ~kernel ~mem_of ~cursor stmts in
-          let { Schedule.joint; mem_only = memo; comp_only = comp } =
-            Schedule.run_tri sched_profile g
+          let t1 = now () in
+          let { Schedule.joint; mem_only = mem_res; comp_only = comp }, hit =
+            match sched_memo with
+            | Some memo -> Schedule.run_tri_memo memo sched_profile g
+            | None -> (Schedule.run_tri sched_profile g, false)
           in
+          (match timers with
+          | Some ts ->
+              ts.dfg_seconds <- ts.dfg_seconds +. (t1 -. t0);
+              ts.schedule_seconds <- ts.schedule_seconds +. (now () -. t1);
+              if hit then ts.sched_memo_hits <- ts.sched_memo_hits + 1
+          | None -> ());
           merge_usage acc joint.Schedule.usage;
           acc.states <- acc.states + joint.Schedule.cycles;
           ( j + joint.Schedule.cycles,
-            m + memo.Schedule.cycles,
+            m + mem_res.Schedule.cycles,
             c + comp.Schedule.cycles,
             b + joint.Schedule.bits_moved )
     in

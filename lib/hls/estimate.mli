@@ -44,5 +44,26 @@ type t = {
 (** Control cycles charged per loop iteration (FSM back edge). *)
 val loop_overhead_cycles : int
 
-val estimate : profile -> Ast.kernel -> t
+(** Per-stage accounting for one or more {!estimate} calls: wall time
+    in DFG construction, scheduling and data layout, plus how many
+    blocks were served from the tri-schedule memo. The caller owns the
+    record and may accumulate across calls. *)
+type stage_timers = {
+  mutable dfg_seconds : float;
+  mutable schedule_seconds : float;
+  mutable layout_seconds : float;
+  mutable sched_memo_hits : int;
+}
+
+val fresh_timers : unit -> stage_timers
+
+(** Estimate a transformed kernel. With [sched_memo], each block's
+    tri-schedule is looked up by {!Dfg.fingerprint} before scheduling —
+    the memo is exact (same fingerprint, bit-identical schedule), so the
+    result is field-for-field identical with and without it; an unrolled
+    nest then schedules each distinct block shape once. With [timers],
+    per-stage wall time and memo hits are accumulated into the record. *)
+val estimate :
+  ?sched_memo:Schedule.memo -> ?timers:stage_timers -> profile -> Ast.kernel -> t
+
 val pp : Format.formatter -> t -> unit

@@ -183,6 +183,28 @@ let run ?(mode : mode = `Joint) (p : profile) (g : Dfg.t) : result =
 
 type tri = { joint : result; mem_only : result; comp_only : result }
 
+(* ------------------------------------------------------------------ *)
+(* Content-addressed tri-schedule memo.
+
+   [run_tri] is a pure function of the graph's schedule-relevant
+   projection and the profile; {!Dfg.fingerprint} is injective on that
+   projection, so a fingerprint -> tri table keyed by it is an *exact*
+   memo: a hit returns the very record a fresh run would compute. One
+   table serves one profile (the {!Design} context that owns it fixes
+   the profile for its lifetime); tables are copied into domain forks
+   and merged back with {!memo_absorb}, never shared across domains. *)
+
+type memo = (string, tri) Hashtbl.t
+
+let memo_create () : memo = Hashtbl.create 256
+let memo_copy : memo -> memo = Hashtbl.copy
+let memo_size : memo -> int = Hashtbl.length
+
+let memo_absorb ~(into : memo) (forked : memo) : unit =
+  Hashtbl.iter
+    (fun fp tri -> if not (Hashtbl.mem into fp) then Hashtbl.replace into fp tri)
+    forked
+
 let run_tri (p : profile) (g : Dfg.t) : tri =
   let n = Array.length g.Dfg.nodes in
   let j = make_state ~mode:`Joint n in
@@ -214,3 +236,14 @@ let run_tri (p : profile) (g : Dfg.t) : tri =
           sched_mem p c node.id ~mem ~width ~is_read:false (ready c node.preds))
     g.Dfg.nodes;
   { joint = finalize p j; mem_only = finalize p m; comp_only = finalize p c }
+
+(** Memoized {!run_tri}. Returns the tri-schedule plus whether it was
+    served from the table ([true] = hit, no scheduling ran). *)
+let run_tri_memo (memo : memo) (p : profile) (g : Dfg.t) : tri * bool =
+  let fp = Dfg.fingerprint g in
+  match Hashtbl.find_opt memo fp with
+  | Some tri -> (tri, true)
+  | None ->
+      let tri = run_tri p g in
+      Hashtbl.replace memo fp tri;
+      (tri, false)

@@ -44,3 +44,25 @@ val run_tri : profile -> Dfg.t -> tri
                     comp_only = run ~mode:`Comp_only p g}]
     exactly — the estimator calls this once per block instead of [run]
     three times. *)
+
+(** Content-addressed tri-schedule table, keyed on {!Dfg.fingerprint}.
+    Because the fingerprint is injective on the schedule-relevant
+    projection of a graph and {!run_tri} reads nothing else, the memo is
+    exact: a hit returns bit-identically what a fresh run would compute.
+    One table must only ever serve one {!profile} (the owning context
+    fixes it); use {!memo_copy}/{!memo_absorb} to fork a private copy
+    per domain and merge it back — never share a table across domains. *)
+type memo
+
+val memo_create : unit -> memo
+val memo_copy : memo -> memo
+
+(** Number of distinct block shapes scheduled so far. *)
+val memo_size : memo -> int
+
+(** Merge a fork's entries into [into] (existing entries win). *)
+val memo_absorb : into:memo -> memo -> unit
+
+(** Memoized {!run_tri}; the boolean is [true] when the result was
+    served from the table without scheduling. *)
+val run_tri_memo : memo -> profile -> Dfg.t -> tri * bool
