@@ -218,8 +218,9 @@ let dse_json () =
   in
   let mp = sweep_product () in
   Printf.printf "## json: DSE performance counters -> %s\n" file;
-  Printf.printf "%-8s %10s %8s %12s %12s %8s %8s %8s\n" "kernel" "search(ms)"
-    "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned" "smhits";
+  Printf.printf "%-8s %10s %8s %12s %12s %8s %8s %8s %11s %6s\n" "kernel"
+    "search(ms)" "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned" "smhits"
+    "verify(ms)" "viol";
   let entries =
     List.map
       (fun name ->
@@ -238,19 +239,33 @@ let dse_json () =
         let t0 = Dse.Util.now () in
         let sp_pruned = Space.sweep ~max_product:mp ~prune:true ~jobs:1 c_pruned in
         let t_pruned = Dse.Util.now () -. t0 in
+        (* Verified sweep: same lattice with per-point translation
+           validation ([--verify]); selections must be bit-identical and
+           violations zero on the paper kernels. *)
+        let c_verified =
+          let k = Option.get (Kernels.find name) in
+          Design.context ~profile:(Estimate.default_profile ()) ~verify:true k
+        in
+        let t0 = Dse.Util.now () in
+        let sp_verified = Space.sweep ~max_product:mp ~jobs:1 c_verified in
+        let t_verified = Dse.Util.now () -. t0 in
         let best_full = Option.get (Space.best_fitting c_full sp_full) in
         let best_pruned = Option.get (Space.best_fitting c_pruned sp_pruned) in
+        let best_verified = Option.get (Space.best_fitting c_verified sp_verified) in
         let sched_memo_hits =
           c.Design.stats.Design.sched_memo_hits
           + c_full.Design.stats.Design.sched_memo_hits
           + c_pruned.Design.stats.Design.sched_memo_hits
         in
-        Printf.printf "%-8s %10.1f %8d %12.1f %12.1f %8d %8d %8d\n" name
+        Printf.printf "%-8s %10.1f %8d %12.1f %12.1f %8d %8d %8d %11.1f %6d\n"
+          name
           (1000.0 *. t_search)
           r.Search.stats.Design.evaluations
           (1000.0 *. t_full) (1000.0 *. t_pruned)
           c_pruned.Design.stats.Design.evaluations sp_pruned.Space.pruned
-          sched_memo_hits;
+          sched_memo_hits
+          (1000.0 *. t_verified)
+          c_verified.Design.stats.Design.verify_violations;
         json_of_fields
           [
             ("kernel", Printf.sprintf "%S" name);
@@ -294,6 +309,17 @@ let dse_json () =
               string_of_int (Design.cycles best_full.Space.point) );
             ( "best_cycles_pruned",
               string_of_int (Design.cycles best_pruned.Space.point) );
+            ("sweep_seconds_verified", Printf.sprintf "%.6f" t_verified);
+            ( "checked_points",
+              string_of_int c_verified.Design.stats.Design.checked_points );
+            ( "verify_violations",
+              string_of_int c_verified.Design.stats.Design.verify_violations );
+            ( "verified_selection_unchanged",
+              if
+                Design.vector_equal best_full.Space.vector
+                  best_verified.Space.vector
+              then "true"
+              else "false" );
             ( "selection_unchanged",
               if
                 Design.vector_equal best_full.Space.vector

@@ -6,6 +6,7 @@
     defacto estimate  -k mm -u i=2,j=2       synthesize one design point
     defacto transform -k jac -u j=2          print the transformed code
     defacto space     -k pat                 exhaustive design-space sweep
+    defacto check     -k fir                 static checks + pipeline validation
     defacto vhdl      -k fir -u j=2,i=2      emit behavioral VHDL
     defacto kernels                          list built-in kernels
     v}
@@ -127,10 +128,20 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
-let explore kernel file non_pipelined memories capacity report prof =
+let verify_arg =
+  let doc =
+    "Translation-validate the transformation pipeline of every visited \
+     design point (per-stage footprint comparison); selections are \
+     bit-identical, violations are counted in the stats."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let explore kernel file non_pipelined memories capacity report prof verify =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
-  let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
+  let ctx =
+    { (Dse.Design.context ~profile ~verify k) with Dse.Design.capacity }
+  in
   (match report with
   | Some dest ->
       let r = Dse.Report.build ctx in
@@ -164,6 +175,10 @@ let explore kernel file non_pipelined memories capacity report prof =
   Format.printf "speedup over baseline: %.2fx@."
     (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected));
   Format.printf "stats: %a@." Dse.Design.pp_stats r.stats;
+  if verify then
+    Format.printf "verify: %d design point(s) checked, %d violation(s)@."
+      ctx.Dse.Design.stats.Dse.Design.checked_points
+      ctx.Dse.Design.stats.Dse.Design.verify_violations;
   if prof then begin
     Format.printf "profile: %a@." Dse.Design.pp_profile
       ctx.Dse.Design.stats;
@@ -176,7 +191,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const explore $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ report_arg $ profile_arg)
+      $ capacity_arg $ report_arg $ profile_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -238,10 +253,13 @@ let prune_arg =
   in
   Arg.(value & flag & info [ "prune" ] ~doc)
 
-let space kernel file non_pipelined memories capacity max_product prune jobs =
+let space kernel file non_pipelined memories capacity max_product prune jobs
+    verify =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
-  let ctx = { (Dse.Design.context ~profile k) with Dse.Design.capacity } in
+  let ctx =
+    { (Dse.Design.context ~profile ~verify k) with Dse.Design.capacity }
+  in
   let sp = Dse.Space.sweep ~max_product ~prune ?jobs ctx in
   Format.printf "# %-24s %10s %10s %10s %8s@." "vector" "cycles" "slices"
     "balance" "fits";
@@ -262,6 +280,10 @@ let space kernel file non_pipelined memories capacity max_product prune jobs =
     Format.printf "# pruned without synthesis: %d of %d lattice points@."
       sp.Dse.Space.pruned
       (sp.Dse.Space.pruned + List.length sp.Dse.Space.points);
+  if verify then
+    Format.printf "# verify: %d design point(s) checked, %d violation(s)@."
+      ctx.Dse.Design.stats.Dse.Design.checked_points
+      ctx.Dse.Design.stats.Dse.Design.verify_violations;
   Format.printf "# stats: %a@." Dse.Design.pp_stats ctx.Dse.Design.stats
 
 let space_cmd =
@@ -269,7 +291,62 @@ let space_cmd =
   Cmd.v (Cmd.info "space" ~doc)
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg)
+      $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg $ verify_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let format_arg =
+  let doc = "Output format: $(b,human) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let no_validate_arg =
+  let doc =
+    "Skip the (more expensive) per-stage pipeline translation validation; \
+     run only the structural, bounds and legality passes."
+  in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+(* Exit-code discipline (asserted by the integration tests and relied on
+   by CI): 0 when clean (at most informational findings), 1 when the
+   worst finding is a warning, 2 on any error. *)
+let check kernel file unroll format no_validate =
+  (* A kernel that does not even load (front-end rejection) is an error
+     by the same discipline. *)
+  let k =
+    match load_kernel kernel file with
+    | Ok k -> k
+    | Error msg ->
+        prerr_endline ("defacto: " ^ msg);
+        exit 2
+  in
+  let options =
+    match parse_vector unroll with
+    | [] -> None
+    | v -> Some { Transform.Pipeline.default with Transform.Pipeline.vector = v }
+  in
+  let config =
+    { Check.Run.default with Check.Run.options; validate = not no_validate }
+  in
+  let ds = Check.Run.all ~config k in
+  (match format with
+  | `Human -> print_string (Check.Run.render_human ?file ~kernel:k.Ir.Ast.k_name ds)
+  | `Json -> print_endline (Check.Run.render_json ?file ~kernel:k.Ir.Ast.k_name ds));
+  exit (Check.Run.exit_code ds)
+
+let check_cmd =
+  let doc =
+    "Statically check a kernel: structural well-formedness, affine bounds, \
+     transform legality, and per-stage translation validation of the \
+     pipeline. Exits 0 when clean, 1 on warnings, 2 on errors."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check $ kernel_arg $ file_arg $ unroll_arg $ format_arg
+      $ no_validate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vhdl *)
@@ -360,6 +437,7 @@ let main =
       estimate_cmd;
       transform_cmd;
       space_cmd;
+      check_cmd;
       vhdl_cmd;
       simulate_cmd;
       kernels_cmd;

@@ -1,0 +1,6 @@
+int A[10];
+int x;
+for (i = 0; i < 12; i++) {
+  if (i < 10)
+    x = x + A[i];
+}

@@ -1,0 +1,3 @@
+int A[8];
+for (i = 0; i < 10; i++)
+  A[i] = A[i] + 1;

@@ -1,0 +1,3 @@
+int A[8];
+for (i = 0; i < 8; i++)
+  A[i] = B[i] + 1;

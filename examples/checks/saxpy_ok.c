@@ -1,0 +1,4 @@
+int x[16];
+int y[16];
+for (i = 0; i < 16; i++)
+  y[i] = y[i] + (3 * x[i]);

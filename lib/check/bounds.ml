@@ -1,0 +1,107 @@
+(** Affine out-of-bounds detection.
+
+    Every array access is classified per dimension by evaluating its
+    {!Analysis.Affine} subscript form over the loop-bound box with
+    interval arithmetic. For an affine function over a box the interval
+    endpoints are attained at corners of the box, and the input domain's
+    loops iterate the full box — so an unguarded access whose interval
+    leaves [0, extent) is a *provable* overrun (Error), while a guarded
+    access (syntactically under an [if]) may be saved by its guard and
+    is flagged as a *possible* overrun (Warning). Non-affine or symbolic
+    subscripts are reported as unverifiable (Info), never guessed at. *)
+
+open Ir
+module Access = Analysis.Access
+
+let pass = "bounds"
+
+let diagf ?span sev fmt = Diag.diagf ?span sev ~pass fmt
+
+(** Range of values a loop index takes; [None] for zero-trip loops. *)
+let index_range (l : Ast.loop) : (int * int) option =
+  let trip = if l.Ast.step <= 0 then 0 else Ast.loop_trip l in
+  if trip = 0 then None
+  else Some (l.Ast.lo, l.Ast.lo + ((trip - 1) * l.Ast.step))
+
+type interval_result =
+  | Interval of int * int  (** inclusive min/max over the box *)
+  | Symbolic of string  (** a variable the loop box does not bound *)
+  | Empty  (** enclosed in a zero-trip loop: never executes *)
+
+(** Interval of an affine form over the access's enclosing-loop box. *)
+let interval (acc : Access.t) (f : Affine.t) : interval_result =
+  if List.exists (fun (l : Ast.loop) -> index_range l = None) acc.Access.loops
+  then Empty
+  else
+    let ranges =
+      List.filter_map
+        (fun (l : Ast.loop) ->
+          Option.map (fun r -> (l.Ast.index, r)) (index_range l))
+        acc.Access.loops
+    in
+    let rec go lo hi = function
+      | [] -> Interval (lo, hi)
+      | (v, c) :: rest -> (
+          match List.assoc_opt v ranges with
+          | None -> Symbolic v
+          | Some (vmin, vmax) ->
+              if c >= 0 then go (lo + (c * vmin)) (hi + (c * vmax)) rest
+              else go (lo + (c * vmax)) (hi + (c * vmin)) rest)
+    in
+    go f.Affine.const f.Affine.const f.Affine.terms
+
+let access_span (acc : Access.t) : Ast.span option =
+  (* Innermost enclosing loop that carries a span. *)
+  List.fold_left
+    (fun sp (l : Ast.loop) ->
+      match l.Ast.l_span with Some _ as s -> s | None -> sp)
+    None acc.Access.loops
+
+let kind_name = function Access.Read -> "read" | Access.Write -> "write"
+
+let check_access (k : Ast.kernel) (acc : Access.t) : Diag.t list =
+  match Ast.find_array k acc.Access.array with
+  | None -> []  (* undeclared array: Wellformed reports it *)
+  | Some decl ->
+      let span = access_span acc in
+      let dims = decl.Ast.a_dims in
+      if List.length acc.Access.subs <> List.length dims then []
+        (* arity mismatch: Wellformed reports it *)
+      else
+        List.concat
+          (List.mapi
+             (fun d (af, extent) ->
+               match af with
+               | None ->
+                   [ diagf Info ?span
+                       "%s of '%s' dimension %d has a non-affine subscript; \
+                        not checked"
+                       (kind_name acc.Access.kind) acc.Access.array d ]
+               | Some f -> (
+                   match interval acc f with
+                   | Empty -> []
+                   | Symbolic v ->
+                       [ diagf Info ?span
+                           "%s of '%s' dimension %d depends on '%s', which no \
+                            enclosing loop bounds; not checked"
+                           (kind_name acc.Access.kind) acc.Access.array d v ]
+                   | Interval (lo, hi) ->
+                       if lo >= 0 && hi < extent then []
+                       else
+                         let describe =
+                           Printf.sprintf
+                             "%s of '%s' dimension %d: subscript %s ranges \
+                              over [%d, %d] but the extent is %d"
+                             (kind_name acc.Access.kind) acc.Access.array d
+                             (Affine.to_string f) lo hi extent
+                         in
+                         if acc.Access.guarded then
+                           [ diagf Warning ?span
+                               "possible out-of-bounds %s (access is guarded)"
+                               describe ]
+                         else
+                           [ diagf Error ?span "out-of-bounds %s" describe ]))
+             (List.combine acc.Access.affine dims))
+
+let check (k : Ast.kernel) : Diag.t list =
+  List.concat_map (check_access k) (Access.collect k.Ast.k_body)

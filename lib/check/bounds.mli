@@ -1,0 +1,12 @@
+(** Affine out-of-bounds detection via interval propagation of
+    {!Analysis.Affine} subscript forms over the loop-bound box. Provable
+    overruns (unguarded affine access whose interval leaves the extent)
+    are errors; possible overruns (guarded accesses) are warnings;
+    non-affine or symbolic subscripts are unverifiable Info findings. *)
+
+open Ir
+
+(** Range of values a loop index takes; [None] for zero-trip loops. *)
+val index_range : Ast.loop -> (int * int) option
+
+val check : Ast.kernel -> Diag.t list

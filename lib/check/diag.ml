@@ -1,0 +1,117 @@
+(** Shared diagnostics for the static-analysis passes.
+
+    Every checker pass ({!Wellformed}, {!Bounds}, {!Legality},
+    {!Validate}) reports through this one type so the CLI, CI and the
+    verified explorer render findings uniformly: a severity, the pass
+    that found it, an optional pipeline-stage tag (for post-hoc
+    validation findings), an optional source span, and the message. *)
+
+open Ir
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(* Ordered for [max_severity]: Info < Warning < Error. *)
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type t = {
+  severity : severity;
+  pass : string;  (** wellformed | bounds | legality | validate | pipeline *)
+  stage : string option;  (** pipeline stage tag, for validation findings *)
+  span : Ast.span option;
+  message : string;
+}
+
+let make ?stage ?span severity ~pass message =
+  { severity; pass; stage; span; message }
+
+(** [diagf severity ~pass fmt ...] — printf-style constructor. *)
+let diagf ?stage ?span severity ~pass fmt =
+  Format.kasprintf (fun message -> make ?stage ?span severity ~pass message) fmt
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: ds ->
+      Some
+        (List.fold_left
+           (fun acc d ->
+             if compare_severity d.severity acc > 0 then d.severity else acc)
+           d.severity ds)
+
+(** Exit-code discipline shared by the CLI and CI: 0 when clean (at most
+    Info findings), 1 when the worst finding is a warning, 2 on any
+    error. *)
+let exit_code ds =
+  match max_severity ds with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Info | None -> 0
+
+(** Rendered as [file:line:col: severity: [pass/stage] message], with
+    the location parts present only when known. *)
+let render ?file (d : t) : string =
+  let buf = Buffer.create 80 in
+  (match (file, d.span) with
+  | Some f, Some sp ->
+      Buffer.add_string buf (Printf.sprintf "%s:%d:%d: " f sp.Ast.sp_line sp.Ast.sp_col)
+  | Some f, None -> Buffer.add_string buf (Printf.sprintf "%s: " f)
+  | None, Some sp ->
+      Buffer.add_string buf (Printf.sprintf "%d:%d: " sp.Ast.sp_line sp.Ast.sp_col)
+  | None, None -> ());
+  Buffer.add_string buf (severity_name d.severity);
+  Buffer.add_string buf ": ";
+  (match d.stage with
+  | Some s -> Buffer.add_string buf (Printf.sprintf "[%s/%s] " d.pass s)
+  | None -> Buffer.add_string buf (Printf.sprintf "[%s] " d.pass));
+  Buffer.add_string buf d.message;
+  Buffer.contents buf
+
+let pp fmt d = Format.pp_print_string fmt (render d)
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled: the repo carries no JSON dependency) *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (d : t) : string =
+  let fields =
+    [ Printf.sprintf {|"severity": "%s"|} (severity_name d.severity);
+      Printf.sprintf {|"pass": "%s"|} (json_escape d.pass) ]
+    @ (match d.stage with
+      | Some s -> [ Printf.sprintf {|"stage": "%s"|} (json_escape s) ]
+      | None -> [])
+    @ (match d.span with
+      | Some sp ->
+          [ Printf.sprintf {|"line": %d|} sp.Ast.sp_line;
+            Printf.sprintf {|"col": %d|} sp.Ast.sp_col ]
+      | None -> [])
+    @ [ Printf.sprintf {|"message": "%s"|} (json_escape d.message) ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"
+
+(** Convert a structured pipeline failure into a diagnostic. *)
+let of_stage_error ~(stage : Transform.Pipeline.stage) ~kernel message =
+  diagf Error ~pass:"pipeline"
+    ~stage:(Transform.Pipeline.stage_name stage)
+    "kernel '%s': %s" kernel message

@@ -1,0 +1,50 @@
+(** Shared diagnostics for the static-analysis passes. *)
+
+open Ir
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+(** Info < Warning < Error. *)
+val compare_severity : severity -> severity -> int
+
+type t = {
+  severity : severity;
+  pass : string;  (** wellformed | bounds | legality | validate | pipeline *)
+  stage : string option;  (** pipeline stage tag, for validation findings *)
+  span : Ast.span option;
+  message : string;
+}
+
+val make : ?stage:string -> ?span:Ast.span -> severity -> pass:string -> string -> t
+
+(** Printf-style constructor. *)
+val diagf :
+  ?stage:string ->
+  ?span:Ast.span ->
+  severity ->
+  pass:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val max_severity : t list -> severity option
+
+(** 0 clean (at most Info), 1 warnings, 2 errors. *)
+val exit_code : t list -> int
+
+(** [file:line:col: severity: [pass/stage] message]. *)
+val render : ?file:string -> t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val json_escape : string -> string
+
+(** One finding as a JSON object. *)
+val to_json : t -> string
+
+(** Convert a structured pipeline failure into a diagnostic. *)
+val of_stage_error :
+  stage:Transform.Pipeline.stage -> kernel:string -> string -> t

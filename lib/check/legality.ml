@@ -1,0 +1,155 @@
+(** Per-transform legality predicates, checked *before* the rewrite.
+
+    The pipeline's stages each have a static precondition (Section 4 of
+    the paper): unroll-and-jam must not reverse a dependence when the
+    unrolled outer iterations are fused; scalar replacement requires
+    consistent dependence distances within a uniformly generated set;
+    tiling and peeling require their loop to sit on the nest spine. This
+    pass evaluates those predicates on the source kernel — optionally
+    against a concrete {!Transform.Pipeline.options} — and reports what
+    the pipeline will do about any that fail (fall back, skip, or
+    raise). *)
+
+open Ir
+module Dependence = Analysis.Dependence
+module Reuse = Analysis.Reuse
+
+let pass = "legality"
+
+let diagf ?span sev fmt = Diag.diagf ?span sev ~pass fmt
+
+(** Fusing the unrolled outer iterations preserves every dependence.
+    Same predicate the pipeline consults ({!Transform.Unroll.jam_legal});
+    conservative on coupled distances. *)
+let jam_unroll_legal = Transform.Unroll.jam_legal
+
+(** Scalar replacement may cache this uniformly generated set in
+    registers: every pair of members has a consistent (exact or
+    unconstrained) dependence distance, so the reuse distance is the
+    same on every iteration. *)
+let replaceable_group (_k : Ast.kernel) (g : Reuse.group) : bool =
+  let members = Array.of_list g.Reuse.members in
+  let n = Array.length members in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok then
+        match Dependence.ug_distance_vector members.(i) members.(j) with
+        | Dependence.Independent -> ()
+        | Dependence.Distance entries ->
+            if
+              List.exists
+                (function
+                  | Dependence.Coupled -> true
+                  | Dependence.Exact _ | Dependence.Any -> false)
+                entries
+            then ok := false
+        | Dependence.Unknown -> ok := false
+    done
+  done;
+  !ok
+
+let spine_loop (k : Ast.kernel) index =
+  List.find_opt
+    (fun (l : Ast.loop) -> l.Ast.index = index)
+    (Loop_nest.spine k.Ast.k_body)
+
+(** Strip-mining [index] by [tile] actually splits a loop: the index
+    names a spine loop and the tile is a proper fraction of its trip. *)
+let tiling_applicable (k : Ast.kernel) ~index ~tile : bool =
+  match spine_loop k index with
+  | None -> false
+  | Some l -> tile > 1 && tile < Ast.loop_trip l
+
+(** Peeling the first iteration of [index] leaves a well-defined rest
+    loop: the index is on the spine with at least one iteration. *)
+let peeling_applicable (k : Ast.kernel) ~index : bool =
+  match spine_loop k index with
+  | None -> false
+  | Some l -> Ast.loop_trip l >= 1
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(options : Transform.Pipeline.options option) (k : Ast.kernel) :
+    Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let spine = Loop_nest.spine k.Ast.k_body in
+  let innermost =
+    match List.rev spine with l :: _ -> Some l.Ast.index | [] -> None
+  in
+  let jam_ok = jam_unroll_legal k in
+  (* Unroll-and-jam. *)
+  (match options with
+  | None ->
+      if not jam_ok then
+        add
+          (diagf Info
+             "unroll-and-jam is not provably legal: outer unrolling will fall \
+              back to innermost-only unrolling")
+  | Some opts ->
+      List.iter
+        (fun (index, factor) ->
+          let span =
+            Option.bind (spine_loop k index) (fun l -> l.Ast.l_span)
+          in
+          if factor <= 0 then
+            add
+              (diagf Error ?span "unroll factor %d for loop '%s' is not \
+                                  positive" factor index)
+          else if factor > 1 && spine_loop k index = None then
+            add
+              (diagf Warning
+                 "unroll factor for '%s' names no spine loop; the pipeline \
+                  ignores it"
+                 index))
+        opts.Transform.Pipeline.vector;
+      let wants_jam =
+        List.exists
+          (fun (index, factor) ->
+            factor > 1 && Some index <> innermost
+            && spine_loop k index <> None)
+          opts.Transform.Pipeline.vector
+      in
+      if wants_jam && not jam_ok then
+        add
+          (diagf Warning
+             "unroll-and-jam at this vector is not provably legal \
+              (dependence would be reordered); the pipeline falls back to \
+              innermost-only unrolling");
+      (* Tiling. *)
+      match opts.Transform.Pipeline.tile with
+      | None -> ()
+      | Some (index, tile) ->
+          if spine_loop k index = None then
+            add
+              (diagf Error "tile index '%s' does not name a spine loop" index)
+          else if not (tiling_applicable k ~index ~tile) then
+            add
+              (diagf Warning
+                 "tile %d on loop '%s' has no effect (not a proper fraction \
+                  of the trip count)"
+                 tile index));
+  (* Scalar replacement: groups with reuse whose distances are not
+     consistent are skipped by the rewrite, never transformed wrongly —
+     report them as unexploited reuse. *)
+  List.iter
+    (fun (g : Reuse.group) ->
+      let distinct = List.length (Reuse.distinct_members g) in
+      let has_reuse =
+        distinct > 1 || Reuse.invariant_loops g <> []
+        || List.length g.Reuse.members > distinct
+      in
+      if has_reuse && not (replaceable_group k g) then
+        add
+          (diagf Info
+             "uniformly generated %s set on '%s' (%d members) has \
+              inconsistent dependence distances; scalar replacement will \
+              skip it"
+             (match g.Reuse.kind with
+             | Analysis.Access.Read -> "read"
+             | Analysis.Access.Write -> "write")
+             g.Reuse.array
+             (List.length g.Reuse.members)))
+    (Reuse.groups k.Ast.k_body);
+  List.rev !diags

@@ -1,0 +1,26 @@
+(** Per-transform legality predicates, checked before the rewrite:
+    unroll-and-jam dependence preservation, scalar-replacement reuse
+    preconditions, tiling/peeling applicability. *)
+
+open Ir
+
+(** Fusing the unrolled outer iterations preserves every dependence
+    (same predicate the pipeline consults; conservative on coupled
+    distances). *)
+val jam_unroll_legal : Ast.kernel -> bool
+
+(** Every pair of members of the uniformly generated set has a
+    consistent (exact or unconstrained) dependence distance, the
+    precondition for caching the set in registers. *)
+val replaceable_group : Ast.kernel -> Analysis.Reuse.group -> bool
+
+(** [index] names a spine loop and [tile] is a proper fraction of its
+    trip count. *)
+val tiling_applicable : Ast.kernel -> index:string -> tile:int -> bool
+
+(** [index] names a spine loop with at least one iteration. *)
+val peeling_applicable : Ast.kernel -> index:string -> bool
+
+(** Diagnostics for the kernel, optionally against the concrete pipeline
+    options of a design point (unroll vector, tile request). *)
+val check : ?options:Transform.Pipeline.options -> Ast.kernel -> Diag.t list

@@ -1,0 +1,78 @@
+(** Driver: run every pass over a kernel and render the findings.
+
+    The CLI ([defacto check]), CI and the verified explorer all go
+    through here so they share one pass order, one rendering and one
+    exit-code discipline. Pass order mirrors a compiler: structural
+    well-formedness first (and, when it errors, alone — the later passes
+    assume a structurally sound kernel), then bounds, transform
+    legality, and optionally the full pipeline validation. *)
+
+open Ir
+
+type config = {
+  options : Transform.Pipeline.options option;
+      (** legality/validation against these concrete pipeline options;
+          [Transform.Pipeline.default] when absent *)
+  validate : bool;  (** run the (more expensive) pipeline validation *)
+  max_points : int option;  (** footprint enumeration budget *)
+}
+
+let default = { options = None; validate = true; max_points = None }
+
+let all ?(config = default) (k : Ast.kernel) : Diag.t list =
+  let wf = Wellformed.check k in
+  if Diag.errors wf <> [] then wf
+  else
+    let bounds = Bounds.check k in
+    let legality = Legality.check ?options:config.options k in
+    let validation =
+      if not config.validate then []
+      else if Diag.errors bounds <> [] then []
+        (* out-of-bounds source: the pipeline may legitimately move the
+           overrun around; don't pile on stage findings *)
+      else
+        (Validate.run
+           ?options:config.options
+           ?max_points:config.max_points k)
+          .Validate.diags
+    in
+    wf @ bounds @ legality @ validation
+
+let exit_code = Diag.exit_code
+
+let count sev ds = List.length (List.filter (fun d -> d.Diag.severity = sev) ds)
+
+let render_human ?file ~kernel (ds : Diag.t list) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diag.render ?file d);
+      Buffer.add_char buf '\n')
+    ds;
+  let e = count Diag.Error ds
+  and w = count Diag.Warning ds
+  and i = count Diag.Info ds in
+  Buffer.add_string buf
+    (if e = 0 && w = 0 then
+       Printf.sprintf "%s: clean (%d informational finding(s))\n" kernel i
+     else
+       Printf.sprintf "%s: %d error(s), %d warning(s), %d informational\n"
+         kernel e w i);
+  Buffer.contents buf
+
+let render_json ?file ~kernel (ds : Diag.t list) : string =
+  let fields =
+    [ Printf.sprintf {|"kernel": "%s"|} (Diag.json_escape kernel) ]
+    @ (match file with
+      | Some f -> [ Printf.sprintf {|"file": "%s"|} (Diag.json_escape f) ]
+      | None -> [])
+    @ [
+        Printf.sprintf {|"errors": %d|} (count Diag.Error ds);
+        Printf.sprintf {|"warnings": %d|} (count Diag.Warning ds);
+        Printf.sprintf {|"infos": %d|} (count Diag.Info ds);
+        Printf.sprintf {|"exit_code": %d|} (exit_code ds);
+        Printf.sprintf {|"diagnostics": [%s]|}
+          (String.concat ", " (List.map Diag.to_json ds));
+      ]
+  in
+  "{" ^ String.concat ", " fields ^ "}"

@@ -1,0 +1,26 @@
+(** Driver: run every checker pass over a kernel and render findings.
+    Shared by [defacto check], CI and the verified explorer. *)
+
+open Ir
+
+type config = {
+  options : Transform.Pipeline.options option;
+      (** legality/validation against these concrete pipeline options *)
+  validate : bool;  (** run the (more expensive) pipeline validation *)
+  max_points : int option;  (** footprint enumeration budget *)
+}
+
+val default : config
+
+(** Wellformed, then (unless well-formedness errored) bounds, legality
+    and — when [config.validate] — pipeline validation. *)
+val all : ?config:config -> Ast.kernel -> Diag.t list
+
+(** 0 clean (at most Info), 1 warnings, 2 errors. *)
+val exit_code : Diag.t list -> int
+
+val render_human : ?file:string -> kernel:string -> Diag.t list -> string
+
+(** One kernel's findings as a JSON object (kernel, counts, exit_code,
+    diagnostics array). *)
+val render_json : ?file:string -> kernel:string -> Diag.t list -> string

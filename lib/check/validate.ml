@@ -1,0 +1,374 @@
+(** Post-hoc translation validation of the transformation pipeline.
+
+    {!run} re-applies {!Transform.Pipeline.apply} through its [observe]
+    hook and, after every executed stage (tile, unroll, scalar replace,
+    peel, LICM, simplify), re-verifies the output kernel structurally
+    and compares its array-access *footprint* — the per-array sets of
+    elements that may be read, may be written, and must be written —
+    against the pre-stage kernel:
+
+    - reads(post) ⊆ reads(pre) ∪ writes(pre): a stage may drop reads
+      (register reuse) and may re-load an element it wrote (scalar
+      replacement's refill of a write-only bank), but must never read
+      data the input kernel did not touch;
+    - writes(post) ⊆ writes(pre): no stage invents a store;
+    - must-writes(pre) ⊆ writes(post): no store the input definitely
+      performed disappears (store sinking may coalesce, not drop).
+
+    Footprints are computed by enumerating the loop nests with a partial
+    evaluator that tracks loop indices and compile-time-known scalars
+    (so LICM temporaries in subscripts resolve); guards whose condition
+    is undecidable contribute to the may-sets of both branches. Arrays
+    whose subscripts stay unevaluable, and kernels whose iteration space
+    exceeds the point budget, are skipped with an Info finding — never
+    silently. Violations carry the stage tag. *)
+
+open Ir
+
+let pass = "validate"
+
+let diagf ?stage sev fmt = Diag.diagf ?stage sev ~pass fmt
+
+(* ------------------------------------------------------------------ *)
+(* Partial expression evaluation under known scalars / loop indices *)
+
+let rec peval env (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.Var v -> Hashtbl.find_opt env v
+  | Ast.Arr _ -> None
+  | Ast.Un (op, a) -> (
+      match peval env a with
+      | None -> None
+      | Some va -> (
+          match op with
+          | Ast.Neg -> Some (-va)
+          | Ast.Not -> Some (if va = 0 then 1 else 0)
+          | Ast.Bnot -> Some (lnot va)
+          | Ast.Abs -> Some (abs va)))
+  | Ast.Bin (op, a, b) -> (
+      match (peval env a, peval env b) with
+      | Some va, Some vb -> (
+          let bool_ c = Some (if c then 1 else 0) in
+          match op with
+          | Ast.Add -> Some (va + vb)
+          | Ast.Sub -> Some (va - vb)
+          | Ast.Mul -> Some (va * vb)
+          | Ast.Div -> if vb = 0 then None else Some (va / vb)
+          | Ast.Mod -> if vb = 0 then None else Some (va mod vb)
+          | Ast.Lt -> bool_ (va < vb)
+          | Ast.Le -> bool_ (va <= vb)
+          | Ast.Gt -> bool_ (va > vb)
+          | Ast.Ge -> bool_ (va >= vb)
+          | Ast.Eq -> bool_ (va = vb)
+          | Ast.Ne -> bool_ (va <> vb)
+          | Ast.And -> bool_ (va <> 0 && vb <> 0)
+          | Ast.Or -> bool_ (va <> 0 || vb <> 0)
+          | Ast.Band -> Some (va land vb)
+          | Ast.Bor -> Some (va lor vb)
+          | Ast.Bxor -> Some (va lxor vb)
+          | Ast.Shl -> if vb < 0 || vb > 62 then None else Some (va lsl vb)
+          | Ast.Shr -> if vb < 0 || vb > 62 then None else Some (va asr vb)
+          | Ast.Min -> Some (min va vb)
+          | Ast.Max -> Some (max va vb))
+      | _ -> None)
+  | Ast.Cond (c, t, e') -> (
+      match peval env c with
+      | Some vc -> peval env (if vc <> 0 then t else e')
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Footprints *)
+
+type array_fp = {
+  size : int;  (** linearized element count *)
+  may_read : Bytes.t;
+  may_write : Bytes.t;
+  must_write : Bytes.t;
+  mutable oob_read : bool;  (** some read resolved outside the box *)
+  mutable oob_write : bool;
+}
+
+type t = {
+  arrays : (string * array_fp) list;  (** enumerable arrays, sorted *)
+  skipped : (string * string) list;  (** array name, reason *)
+}
+
+(** Default budget on statement executions during enumeration; one mm
+    lattice point costs ~1.3e5, so this admits every kernel in the repo
+    with two orders of magnitude to spare. *)
+let default_max_points = 1 lsl 24
+
+exception Skip_all of string
+
+(** Estimated statement executions, to refuse enormous nests upfront. *)
+let rec work_of_body body =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Ast.Assign _ | Ast.Rotate _ -> 1
+      | Ast.If (_, t, e) -> 1 + work_of_body t + work_of_body e
+      | Ast.For l ->
+          let trip = if l.Ast.step <= 0 then 0 else Ast.loop_trip l in
+          1 + (trip * work_of_body l.Ast.body))
+    0 body
+
+let footprint ?(max_points = default_max_points) (k : Ast.kernel) : t =
+  let fps = Hashtbl.create 8 in
+  let skipped : (string, string) Hashtbl.t = Hashtbl.create 4 in
+  let skip a reason =
+    if not (Hashtbl.mem skipped a) then Hashtbl.add skipped a reason
+  in
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      let size = Ast.array_size a in
+      Hashtbl.replace fps a.Ast.a_name
+        ( a.Ast.a_dims,
+          {
+            size;
+            may_read = Bytes.make size '\000';
+            may_write = Bytes.make size '\000';
+            must_write = Bytes.make size '\000';
+            oob_read = false;
+            oob_write = false;
+          } ))
+    k.Ast.k_arrays;
+  let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Linearize row-major; [None] when a subscript is unevaluable, [Some
+     (-1)] when evaluable but outside the declared box. *)
+  let linear dims subs =
+    let rec go acc dims subs =
+      match (dims, subs) with
+      | [], [] -> Some acc
+      | d :: dims, s :: subs -> (
+          match peval env s with
+          | None -> None
+          | Some v ->
+              if v < 0 || v >= d then Some (-1)
+              else go ((acc * d) + v) dims subs)
+      | _ -> Some (-1) (* arity mismatch: treat as out of the box *)
+    in
+    go 0 dims subs
+  in
+  let touch ~write ~certain a subs =
+    match Hashtbl.find_opt fps a with
+    | None -> skip a "not declared"
+    | Some (dims, fp) -> (
+        match linear dims subs with
+        | None -> skip a "unevaluable subscript"
+        | Some idx ->
+            if idx < 0 then
+              if write then fp.oob_write <- true else fp.oob_read <- true
+            else if write then begin
+              Bytes.set fp.may_write idx '\001';
+              if certain then Bytes.set fp.must_write idx '\001'
+            end
+            else Bytes.set fp.may_read idx '\001')
+  in
+  (* Record every array read inside an expression (subscripts first). *)
+  let rec reads_in e =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Arr (a, subs) ->
+        List.iter reads_in subs;
+        touch ~write:false ~certain:false a subs
+    | Ast.Bin (_, a, b) ->
+        reads_in a;
+        reads_in b
+    | Ast.Un (_, a) -> reads_in a
+    | Ast.Cond (c, t, e') ->
+        reads_in c;
+        reads_in t;
+        reads_in e'
+  in
+  let budget = ref max_points in
+  let spend () =
+    decr budget;
+    if !budget < 0 then raise (Skip_all "iteration budget exceeded")
+  in
+  let rec walk ~certain stmts = List.iter (stmt ~certain) stmts
+  and stmt ~certain s =
+    spend ();
+    match s with
+    | Ast.Assign (Ast.Lvar v, e) ->
+        reads_in e;
+        (match (certain, peval env e) with
+        | true, Some n -> Hashtbl.replace env v n
+        | _ -> Hashtbl.remove env v)
+    | Ast.Assign (Ast.Larr (a, subs), e) ->
+        List.iter reads_in subs;
+        reads_in e;
+        touch ~write:true ~certain a subs
+    | Ast.If (c, t, e) -> (
+        reads_in c;
+        match peval env c with
+        | Some vc -> walk ~certain (if vc <> 0 then t else e)
+        | None ->
+            walk ~certain:false t;
+            walk ~certain:false e)
+    | Ast.For l ->
+        if l.Ast.step <= 0 then raise (Skip_all "non-positive loop stride");
+        let i = ref l.Ast.lo in
+        while !i < l.Ast.hi do
+          Hashtbl.replace env l.Ast.index !i;
+          walk ~certain l.Ast.body;
+          i := !i + l.Ast.step
+        done;
+        Hashtbl.remove env l.Ast.index
+    | Ast.Rotate rs ->
+        (* Register values permute: forget anything we knew about them. *)
+        List.iter (Hashtbl.remove env) rs
+  in
+  (* Known [Param]/[Temp] scalars have no compile-time value: only loop
+     indices and scalars assigned evaluable expressions enter [env]. *)
+  (try
+     if work_of_body k.Ast.k_body > max_points then
+       raise (Skip_all "iteration space exceeds the point budget");
+     walk ~certain:true k.Ast.k_body
+   with Skip_all reason ->
+     List.iter
+       (fun (a : Ast.array_decl) -> skip a.Ast.a_name reason)
+       k.Ast.k_arrays);
+  let arrays =
+    Hashtbl.fold
+      (fun name (_, fp) acc ->
+        if Hashtbl.mem skipped name then acc else (name, fp) :: acc)
+      fps []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let skipped =
+    Hashtbl.fold (fun name reason acc -> (name, reason) :: acc) skipped []
+    |> List.sort compare
+  in
+  { arrays; skipped }
+
+(* ------------------------------------------------------------------ *)
+(* Footprint comparison *)
+
+(** Elements set in [a] but in neither [b] nor [c]: count and first
+    offending linear index. *)
+let not_covered a b c =
+  let n = Bytes.length a in
+  let count = ref 0 and first = ref (-1) in
+  for i = 0 to n - 1 do
+    if
+      Bytes.get a i <> '\000'
+      && Bytes.get b i = '\000'
+      && (match c with None -> true | Some c -> Bytes.get c i = '\000')
+    then begin
+      incr count;
+      if !first < 0 then first := i
+    end
+  done;
+  (!count, !first)
+
+let compare_footprints ~stage ~(pre : t) ~(post : t) : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (name, fp_post) ->
+      match List.assoc_opt name pre.arrays with
+      | None -> ()  (* unenumerable on the pre side: reported as skipped *)
+      | Some fp_pre ->
+          if fp_pre.size <> fp_post.size then
+            add
+              (diagf Error ~stage
+                 "array '%s' changed size across the stage (%d -> %d elements)"
+                 name fp_pre.size fp_post.size)
+          else begin
+            let n, first =
+              not_covered fp_post.may_read fp_pre.may_read
+                (Some fp_pre.may_write)
+            in
+            if n > 0 then
+              add
+                (diagf Error ~stage
+                   "stage reads %d element(s) of '%s' the input kernel never \
+                    touches (first at linear index %d)"
+                   n name first);
+            let n, first = not_covered fp_post.may_write fp_pre.may_write None in
+            if n > 0 then
+              add
+                (diagf Error ~stage
+                   "stage writes %d element(s) of '%s' the input kernel never \
+                    writes (first at linear index %d)"
+                   n name first);
+            let n, first = not_covered fp_pre.must_write fp_post.may_write None in
+            if n > 0 then
+              add
+                (diagf Error ~stage
+                   "stage drops %d write(s) to '%s' the input kernel always \
+                    performs (first at linear index %d)"
+                   n name first);
+            if fp_post.oob_read && not fp_pre.oob_read then
+              add
+                (diagf Error ~stage
+                   "stage introduces an out-of-bounds read of '%s'" name);
+            if fp_post.oob_write && not fp_pre.oob_write then
+              add
+                (diagf Error ~stage
+                   "stage introduces an out-of-bounds write of '%s'" name)
+          end)
+    post.arrays;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline instrumentation *)
+
+type outcome = {
+  result : Transform.Pipeline.result option;
+      (** [None] when the pipeline itself failed; the failure is then an
+          error diagnostic *)
+  diags : Diag.t list;
+}
+
+let violations (o : outcome) = Diag.errors o.diags
+
+(** Apply the pipeline with per-stage validation. The transformed result
+    is bit-identical to [Transform.Pipeline.apply options k]. *)
+let run ?(options = Transform.Pipeline.default) ?max_points (k : Ast.kernel) :
+    outcome =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let skip_reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let report_skips (fp : t) stage =
+    List.iter
+      (fun (name, reason) ->
+        if not (Hashtbl.mem skip_reported name) then begin
+          Hashtbl.add skip_reported name ();
+          add
+            (diagf Info ~stage "array '%s' not validated: %s" name reason)
+        end)
+      fp.skipped
+  in
+  (* The pipeline threads each stage's output into the next stage, so
+     the [before] kernel is physically the previous [after]: cache one
+     footprint to halve the enumeration work. *)
+  let cache : (Ast.kernel * t) option ref = ref None in
+  let fp_of kk =
+    match !cache with
+    | Some (prev, fp) when prev == kk -> fp
+    | _ -> footprint ?max_points kk
+  in
+  let observe stage ~before ~after =
+    let sname = Transform.Pipeline.stage_name stage in
+    (* Structural re-verification of the stage output. *)
+    List.iter
+      (fun (d : Diag.t) ->
+        if d.Diag.severity = Diag.Error then
+          add { d with Diag.pass; stage = Some sname })
+      (Wellformed.check after);
+    let pre = fp_of before in
+    let post = footprint ?max_points after in
+    cache := Some (after, post);
+    report_skips pre sname;
+    report_skips post sname;
+    List.iter add (compare_footprints ~stage:sname ~pre ~post)
+  in
+  match Transform.Pipeline.apply ~observe options k with
+  | r -> { result = Some r; diags = List.rev !diags }
+  | exception Transform.Pipeline.Stage_error { stage; kernel; message } ->
+      add (Diag.of_stage_error ~stage ~kernel message);
+      { result = None; diags = List.rev !diags }

@@ -1,0 +1,9 @@
+(** Structural well-formedness: declared-before-use scalars and arrays,
+    subscript arity vs. declared rank, loop-index shadowing and
+    assignment, positive strides, loops not nested under conditionals,
+    plus advisory findings for zero-trip loops and narrowing stores.
+    Pure — never raises. *)
+
+open Ir
+
+val check : Ast.kernel -> Diag.t list

@@ -35,6 +35,11 @@ type stats = {
   mutable sched_memo_hits : int;
       (** blocks whose tri-schedule was served content-addressed from
           the fingerprint memo instead of being scheduled *)
+  mutable checked_points : int;
+      (** design points whose pipeline run was translation-validated
+          ([--verify]) *)
+  mutable verify_violations : int;
+      (** error-severity validation findings across checked points *)
 }
 
 let fresh_stats () =
@@ -49,6 +54,8 @@ let fresh_stats () =
     schedule_seconds = 0.0;
     layout_seconds = 0.0;
     sched_memo_hits = 0;
+    checked_points = 0;
+    verify_violations = 0;
   }
 
 type context = {
@@ -69,11 +76,16 @@ type context = {
   quick_facts : Hls.Quick.facts option Lazy.t;
       (** tier-1 pre-estimator facts; [None] when the pipeline tiles
           (strip-mining adds loops the source skeleton cannot see) *)
+  verify : bool;
+      (** translation-validate every uncached evaluation
+          ({!Check.Validate}); selections are bit-identical, violations
+          are counted in [stats] *)
   stats : stats;
 }
 
 let context ?(pipeline = Transform.Pipeline.default)
-    ?(profile = Hls.Estimate.default_profile ()) (source : Ast.kernel) =
+    ?(profile = Hls.Estimate.default_profile ()) ?(verify = false)
+    (source : Ast.kernel) =
   let spine = Loop_nest.spine source.k_body in
   {
     source;
@@ -94,6 +106,7 @@ let context ?(pipeline = Transform.Pipeline.default)
            Some
              (Hls.Quick.facts ~device:profile.Hls.Estimate.device
                 ~mem:profile.Hls.Estimate.mem source));
+    verify;
     stats = fresh_stats ();
   }
 
@@ -143,7 +156,30 @@ let evaluate_uncached (ctx : context) (v : (string * int) list) : point =
   let v = normalize_vector ctx v in
   let opts = { ctx.pipeline with Transform.Pipeline.vector = v } in
   let t0 = Util.now () in
-  let r = Transform.Pipeline.apply opts ctx.source in
+  let r =
+    if not ctx.verify then Transform.Pipeline.apply opts ctx.source
+    else begin
+      (* Verified evaluation: same pipeline, instrumented per stage by
+         the translation validator. The transformed result is
+         bit-identical; error-severity findings only bump the violation
+         counter (the sweep itself is the paper's experiment — reporting
+         stays the job of the drivers). *)
+      let outcome = Check.Validate.run ~options:opts ctx.source in
+      ctx.stats.checked_points <- ctx.stats.checked_points + 1;
+      ctx.stats.verify_violations <-
+        ctx.stats.verify_violations
+        + List.length (Check.Validate.violations outcome);
+      match outcome.Check.Validate.result with
+      | Some r -> r
+      | None ->
+          (* The pipeline raised mid-stage; surface it like the
+             unverified path would. *)
+          failwith
+            (String.concat "; "
+               (List.map Check.Diag.render
+                  (Check.Validate.violations outcome)))
+    end
+  in
   let t1 = Util.now () in
   let timers = Hls.Estimate.fresh_timers () in
   let estimate =
@@ -218,7 +254,9 @@ let reset_stats (ctx : context) =
   ctx.stats.dfg_seconds <- 0.0;
   ctx.stats.schedule_seconds <- 0.0;
   ctx.stats.layout_seconds <- 0.0;
-  ctx.stats.sched_memo_hits <- 0
+  ctx.stats.sched_memo_hits <- 0;
+  ctx.stats.checked_points <- 0;
+  ctx.stats.verify_violations <- 0
 
 (** Immutable copy of the context's counters (for before/after deltas). *)
 let stats_snapshot (ctx : context) : stats =
@@ -233,6 +271,8 @@ let stats_snapshot (ctx : context) : stats =
     schedule_seconds = ctx.stats.schedule_seconds;
     layout_seconds = ctx.stats.layout_seconds;
     sched_memo_hits = ctx.stats.sched_memo_hits;
+    checked_points = ctx.stats.checked_points;
+    verify_violations = ctx.stats.verify_violations;
   }
 
 let stats_diff ~(before : stats) ~(after : stats) : stats =
@@ -247,6 +287,8 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
     schedule_seconds = after.schedule_seconds -. before.schedule_seconds;
     layout_seconds = after.layout_seconds -. before.layout_seconds;
     sched_memo_hits = after.sched_memo_hits - before.sched_memo_hits;
+    checked_points = after.checked_points - before.checked_points;
+    verify_violations = after.verify_violations - before.verify_violations;
   }
 
 (** A private copy of [ctx] for one domain of a parallel sweep: shares
@@ -286,7 +328,11 @@ let absorb ~(into : context) (forked : context) : unit =
   into.stats.layout_seconds <-
     into.stats.layout_seconds +. forked.stats.layout_seconds;
   into.stats.sched_memo_hits <-
-    into.stats.sched_memo_hits + forked.stats.sched_memo_hits
+    into.stats.sched_memo_hits + forked.stats.sched_memo_hits;
+  into.stats.checked_points <-
+    into.stats.checked_points + forked.stats.checked_points;
+  into.stats.verify_violations <-
+    into.stats.verify_violations + forked.stats.verify_violations
 
 let balance (p : point) = p.estimate.Hls.Estimate.balance
 let space (p : point) = p.estimate.Hls.Estimate.slices
@@ -307,7 +353,10 @@ let pp_stats fmt (s : stats) =
      memo hits (transform %.1f ms, estimate %.1f ms)"
     s.evaluations s.cache_hits s.quick_estimates s.pruned s.sched_memo_hits
     (1000.0 *. s.transform_seconds)
-    (1000.0 *. s.estimate_seconds)
+    (1000.0 *. s.estimate_seconds);
+  if s.checked_points > 0 then
+    Format.fprintf fmt "; verified %d point(s), %d violation(s)"
+      s.checked_points s.verify_violations
 
 (** Per-stage wall-time split of the estimator (the [--profile] view):
     DFG construction, scheduling, data layout, and whatever remains of
@@ -326,4 +375,8 @@ let pp_profile fmt (s : stats) =
     (1000.0 *. s.dfg_seconds)
     (1000.0 *. s.schedule_seconds)
     (1000.0 *. s.layout_seconds)
-    (1000.0 *. other) s.sched_memo_hits
+    (1000.0 *. other) s.sched_memo_hits;
+  if s.checked_points > 0 then
+    Format.fprintf fmt
+      "; translation validation: %d point(s) checked, %d violation(s)"
+      s.checked_points s.verify_violations

@@ -35,6 +35,11 @@ type stats = {
   mutable sched_memo_hits : int;
       (** blocks whose tri-schedule was served content-addressed from
           the fingerprint memo instead of being scheduled *)
+  mutable checked_points : int;
+      (** design points whose pipeline run was translation-validated
+          ([--verify]) *)
+  mutable verify_violations : int;
+      (** error-severity validation findings across checked points *)
 }
 
 val fresh_stats : unit -> stats
@@ -62,12 +67,18 @@ type context = {
           it. Like [cache], it is tied to [pipeline]/[profile]. *)
   quick_facts : Hls.Quick.facts option Lazy.t;
       (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
+  verify : bool;
+      (** translation-validate every uncached evaluation with
+          {!Check.Validate}: the transformed result and every selection
+          are bit-identical to an unverified run; error-severity
+          findings bump [stats.verify_violations] *)
   stats : stats;
 }
 
 val context :
   ?pipeline:Transform.Pipeline.options ->
   ?profile:Hls.Estimate.profile ->
+  ?verify:bool ->
   Ast.kernel ->
   context
 

@@ -75,6 +75,10 @@ let render fmt (r : t) =
     (1000.0 *. st.Design.layout_seconds)
     st.Design.sched_memo_hits (Design.sched_memo_size ctx)
     (Design.cache_size ctx);
+  if st.Design.checked_points > 0 then
+    Format.fprintf fmt
+      "- translation validation: %d design point(s) checked, %d violation(s)@.@."
+      st.Design.checked_points st.Design.verify_violations;
   Format.fprintf fmt "## Selected design: %a@.@." pp_vector sel.Design.vector;
   let e = sel.Design.estimate in
   Format.fprintf fmt

@@ -309,7 +309,8 @@ and parse_for st : Ast.stmt =
   if step <= 0 then error pos "loop stride must be positive";
   expect st Token.RPAREN;
   let body = parse_block st in
-  Ast.For { index; lo; hi; step; body }
+  let l_span = Some { Ast.sp_line = pos.Lexer.line; sp_col = pos.Lexer.col } in
+  Ast.For { index; lo; hi; step; body; l_span }
 
 and parse_if st : Ast.stmt =
   expect st Token.KW_IF;
@@ -384,11 +385,16 @@ let parse_decl st (arrays, scalars) =
       || List.exists (fun (s : Ast.scalar_decl) -> s.s_name = name) scalars
     in
     if dup then error pos "duplicate declaration of '%s'" name;
+    let span = Some { Ast.sp_line = pos.Lexer.line; sp_col = pos.Lexer.col } in
     let acc =
       if dims = [] then
-        (arrays, { Ast.s_name = name; s_elem = elem; s_kind = Ast.Temp } :: scalars)
+        ( arrays,
+          { Ast.s_name = name; s_elem = elem; s_kind = Ast.Temp; s_span = span }
+          :: scalars )
       else
-        ({ Ast.a_name = name; a_elem = elem; a_dims = dims } :: arrays, scalars)
+        ( { Ast.a_name = name; a_elem = elem; a_dims = dims; a_span = span }
+          :: arrays,
+          scalars )
     in
     if accept st Token.COMMA then one acc else acc
   in

@@ -142,4 +142,4 @@ let uniformly_generated a b = equal { a with const = 0 } { b with const = 0 }
 let ug_distance a b =
   if uniformly_generated a b then Some (b.const - a.const) else None
 
-let to_string t = Format.asprintf "%a" Ast.pp_expr (to_expr t)
+let to_string t = Pretty.expr_to_string (to_expr t)

@@ -11,6 +11,13 @@
     replacement for reuse carried by an outer loop, and register scalars
     introduced by the compiler (tracked in {!kernel.k_scalars}). *)
 
+(** Source location carried from the frontend onto declarations and
+    loops. Spans are metadata only: they never participate in derived
+    equality or comparison, so a parsed kernel and a programmatically
+    built kernel with the same structure compare equal. *)
+type span = { sp_line : int; sp_col : int }
+[@@deriving show { with_path = false }, eq, ord]
+
 type binop =
   | Add
   | Sub
@@ -65,6 +72,8 @@ and loop = {
   hi : int;  (** exclusive upper bound; the loop runs while [index < hi] *)
   step : int;  (** positive stride *)
   body : stmt list;
+  l_span : (span option[@equal fun _ _ -> true] [@compare fun _ _ -> 0]);
+      (** where the [for] keyword appeared, when parsed from source *)
 }
 [@@deriving show { with_path = false }, eq, ord]
 
@@ -72,6 +81,7 @@ type array_decl = {
   a_name : string;
   a_elem : Dtype.t;
   a_dims : int list;  (** extent per dimension, outermost first *)
+  a_span : (span option[@equal fun _ _ -> true] [@compare fun _ _ -> 0]);
 }
 [@@deriving show { with_path = false }, eq, ord]
 
@@ -86,6 +96,7 @@ type scalar_decl = {
   s_name : string;
   s_elem : Dtype.t;
   s_kind : scalar_kind;
+  s_span : (span option[@equal fun _ _ -> true] [@compare fun _ _ -> 0]);
 }
 [@@deriving show { with_path = false }, eq, ord]
 
@@ -101,11 +112,11 @@ let loop_trip { lo; hi; step; _ } =
   if step <= 0 then invalid_arg "Ast.loop_trip: nonpositive step";
   if hi <= lo then 0 else ((hi - lo) + step - 1) / step
 
-let array_decl ?(elem = Dtype.int32) name dims =
-  { a_name = name; a_elem = elem; a_dims = dims }
+let array_decl ?(elem = Dtype.int32) ?span name dims =
+  { a_name = name; a_elem = elem; a_dims = dims; a_span = span }
 
-let scalar_decl ?(elem = Dtype.int32) ?(kind = Temp) name =
-  { s_name = name; s_elem = elem; s_kind = kind }
+let scalar_decl ?(elem = Dtype.int32) ?(kind = Temp) ?span name =
+  { s_name = name; s_elem = elem; s_kind = kind; s_span = span }
 
 let find_array k name = List.find_opt (fun a -> a.a_name = name) k.k_arrays
 

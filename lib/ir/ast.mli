@@ -11,6 +11,12 @@
     replacement for reuse carried by an outer loop, and [Register]
     scalars introduced by the compiler. *)
 
+(** Source location carried from the frontend onto declarations and
+    loops. Spans are metadata only: they never participate in derived
+    equality or comparison, so a parsed kernel and a programmatically
+    built kernel with the same structure compare equal. *)
+type span = { sp_line : int; sp_col : int }
+
 type binop =
   | Add
   | Sub
@@ -60,12 +66,15 @@ and loop = {
   hi : int;  (** exclusive upper bound; the loop runs while [index < hi] *)
   step : int;  (** positive stride *)
   body : stmt list;
+  l_span : span option;
+      (** where the [for] keyword appeared, when parsed from source *)
 }
 
 type array_decl = {
   a_name : string;
   a_elem : Dtype.t;
   a_dims : int list;  (** extent per dimension, outermost first *)
+  a_span : span option;
 }
 
 (** How a scalar came to exist; the estimator charges register area for
@@ -73,7 +82,12 @@ type array_decl = {
     [Param] scalars from the host. *)
 type scalar_kind = Param | Register | Temp
 
-type scalar_decl = { s_name : string; s_elem : Dtype.t; s_kind : scalar_kind }
+type scalar_decl = {
+  s_name : string;
+  s_elem : Dtype.t;
+  s_kind : scalar_kind;
+  s_span : span option;
+}
 
 type kernel = {
   k_name : string;
@@ -84,6 +98,9 @@ type kernel = {
 
 (** Printers and equalities (ppx_deriving). *)
 
+val pp_span : Format.formatter -> span -> unit
+val show_span : span -> string
+val equal_span : span -> span -> bool
 val pp_binop : Format.formatter -> binop -> unit
 val equal_binop : binop -> binop -> bool
 val pp_unop : Format.formatter -> unop -> unit
@@ -102,8 +119,10 @@ val equal_kernel : kernel -> kernel -> bool
     [Invalid_argument] on a non-positive step. *)
 val loop_trip : loop -> int
 
-val array_decl : ?elem:Dtype.t -> string -> int list -> array_decl
-val scalar_decl : ?elem:Dtype.t -> ?kind:scalar_kind -> string -> scalar_decl
+val array_decl : ?elem:Dtype.t -> ?span:span -> string -> int list -> array_decl
+
+val scalar_decl :
+  ?elem:Dtype.t -> ?kind:scalar_kind -> ?span:span -> string -> scalar_decl
 val find_array : kernel -> string -> array_decl option
 val find_scalar : kernel -> string -> scalar_decl option
 

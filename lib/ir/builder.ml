@@ -43,10 +43,11 @@ let rotate rs = Rotate rs
 (** [for_ i lo hi body] — unit-stride loop [for (i = lo; i < hi; i++)],
     with the index available as an expression. *)
 let for_ ?(step = 1) index lo hi body =
-  For { index; lo; hi; step; body = body (Var index) }
+  For { index; lo; hi; step; body = body (Var index); l_span = None }
 
 (** Loop without the callback convenience, for already-built bodies. *)
-let loop ?(step = 1) index lo hi body = For { index; lo; hi; step; body }
+let loop ?(step = 1) index lo hi body =
+  For { index; lo; hi; step; body; l_span = None }
 
 let kernel ?(arrays = []) ?(scalars = []) name body =
   Loop_nest.validate

@@ -142,6 +142,7 @@ let rewrite ~num_memories (k : Ast.kernel) : t =
                   Ast.a_name = bank_name a.a_name r;
                   a_elem = a.a_elem;
                   a_dims = [ max 1 (bank_extent ~size ~b ~r) ];
+                  a_span = a.a_span;
                 })
         | _ -> [ { a with Ast.a_dims = [ size ] } ])
       k.k_arrays

@@ -52,7 +52,8 @@ let run (k : kernel) : kernel =
   let new_scalars = ref [] in
   let declare ty =
     let v = Names.fresh names "t" in
-    new_scalars := { s_name = v; s_elem = ty; s_kind = Temp } :: !new_scalars;
+    new_scalars :=
+      { s_name = v; s_elem = ty; s_kind = Temp; s_span = None } :: !new_scalars;
     v
   in
   (* Innermost-first over statement lists, so that an expression hoisted

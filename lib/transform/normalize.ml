@@ -20,7 +20,7 @@ let rec norm_stmt (s : stmt) : stmt =
         in
         For
           { index = l.index; lo = 0; hi = trip; step = 1;
-            body = List.map norm_stmt body }
+            body = List.map norm_stmt body; l_span = l.l_span }
       end
   | If (c, t, e) -> If (c, List.map norm_stmt t, List.map norm_stmt e)
   | Assign _ | Rotate _ -> s

@@ -31,39 +31,99 @@ type result = {
   options : options;
 }
 
-let apply (opts : options) (k : Ast.kernel) : result =
-  let k = match opts.tile with
-    | Some (index, tile) -> Tiling.tile_for_registers ~index ~tile k
+type stage = Tile | Unroll_jam | Scalar_replace | Peel | Licm | Simplify
+
+let stage_name = function
+  | Tile -> "tile"
+  | Unroll_jam -> "unroll"
+  | Scalar_replace -> "scalar-replace"
+  | Peel -> "peel"
+  | Licm -> "licm"
+  | Simplify -> "simplify"
+
+exception
+  Stage_error of {
+    stage : stage;
+    kernel : string;  (** kernel name *)
+    message : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Stage_error { stage; kernel; message } ->
+        Some
+          (Printf.sprintf "Transform.Pipeline.Stage_error(%s, %s): %s"
+             (stage_name stage) kernel message)
+    | _ -> None)
+
+let apply ?observe (opts : options) (k : Ast.kernel) : result =
+  let kname = k.Ast.k_name in
+  (* Run one stage: a [Failure]/[Invalid_argument] escaping a rewrite
+     (e.g. a non-positive stride reaching [Ast.loop_trip] or a
+     [Loop_nest.validate] rejection) is re-raised as a [Stage_error]
+     naming the stage and kernel; the checker's post-hoc validation hook
+     sees every stage boundary through [observe]. *)
+  let stage tag f k =
+    let k' =
+      try f k
+      with Failure msg | Invalid_argument msg ->
+        raise (Stage_error { stage = tag; kernel = kname; message = msg })
+    in
+    (match observe with
+    | Some obs -> obs tag ~before:k ~after:k'
+    | None -> ());
+    k'
+  in
+  let k =
+    match opts.tile with
+    | Some (index, tile) ->
+        stage Tile (Tiling.tile_for_registers ~index ~tile) k
     | None -> k
   in
-  let k = Unroll.run opts.vector k in
-  let k, report = Scalar_replace.run ~config:opts.scalar k in
+  let k = stage Unroll_jam (Unroll.run opts.vector) k in
+  let report = ref Scalar_replace.empty_report in
+  let k =
+    stage Scalar_replace
+      (fun k ->
+        let k, r = Scalar_replace.run ~config:opts.scalar k in
+        report := r;
+        k)
+      k
+  in
+  let report = !report in
   let k =
     if not opts.peel then k
-    else begin
-      (* Peel leading iterations of the innermost loop first (while the
-         spine is still intact) to strip the chain refill guards; peeling
-         replicates the innermost body, so bound it to small counts. *)
-      let k =
-        if report.innermost_peels > 0 && report.innermost_peels <= 4 then begin
-          let rec peel_n n k =
-            if n = 0 then k
-            else
-              match List.rev (Loop_nest.spine k.Ast.k_body) with
-              | [] -> k
-              | inner :: _ -> peel_n (n - 1) (Peel.run ~index:inner.index k)
+    else
+      stage Peel
+        (fun k ->
+          (* Peel leading iterations of the innermost loop first (while
+             the spine is still intact) to strip the chain refill guards;
+             peeling replicates the innermost body, so bound it to small
+             counts. *)
+          let k =
+            if report.Scalar_replace.innermost_peels > 0
+               && report.Scalar_replace.innermost_peels <= 4
+            then begin
+              let rec peel_n n k =
+                if n = 0 then k
+                else
+                  match List.rev (Loop_nest.spine k.Ast.k_body) with
+                  | [] -> k
+                  | inner :: _ -> peel_n (n - 1) (Peel.run ~index:inner.index k)
+              in
+              peel_n report.Scalar_replace.innermost_peels k
+            end
+            else k
           in
-          peel_n report.innermost_peels k
-        end
-        else k
-      in
-      (* Then peel the first iteration of every bank carrier. *)
-      let k =
-        List.fold_left (fun k index -> Peel.run ~index k) k report.carriers
-      in
-      Simplify.fold_ranges k
-    end
+          (* Then peel the first iteration of every bank carrier. *)
+          let k =
+            List.fold_left
+              (fun k index -> Peel.run ~index k)
+              k report.Scalar_replace.carriers
+          in
+          Simplify.fold_ranges k)
+        k
   in
-  let k = if opts.licm then Licm.run k else k in
-  let k = Simplify.run k in
+  let k = if opts.licm then stage Licm Licm.run k else k in
+  let k = stage Simplify Simplify.run k in
   { kernel = k; report; options = opts }

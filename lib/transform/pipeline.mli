@@ -24,4 +24,25 @@ type result = {
   options : options;
 }
 
-val apply : options -> Ast.kernel -> result
+(** Pipeline stages in application order. [Tile] runs only when
+    [options.tile] is set, [Peel]/[Licm] only when enabled. *)
+type stage = Tile | Unroll_jam | Scalar_replace | Peel | Licm | Simplify
+
+val stage_name : stage -> string
+
+(** A [Failure] or [Invalid_argument] escaping a rewrite stage is
+    re-raised as [Stage_error] naming the stage and the kernel, so
+    pipeline failures are attributable instead of a naked string. *)
+exception
+  Stage_error of { stage : stage; kernel : string; message : string }
+
+(** [apply ?observe opts k] runs the pipeline. When given, [observe] is
+    called after every executed stage with the kernel before and after
+    that stage — the hook the checker's translation validation uses. The
+    returned result is bit-identical whether or not [observe] is
+    passed. *)
+val apply :
+  ?observe:(stage -> before:Ast.kernel -> after:Ast.kernel -> unit) ->
+  options ->
+  Ast.kernel ->
+  result

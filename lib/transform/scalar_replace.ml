@@ -231,7 +231,8 @@ let declare st base elem =
     {
       st.kernel with
       k_scalars =
-        st.kernel.k_scalars @ [ { s_name = name; s_elem = elem; s_kind = Register } ];
+        st.kernel.k_scalars
+        @ [ { s_name = name; s_elem = elem; s_kind = Register; s_span = None } ];
     };
   name
 

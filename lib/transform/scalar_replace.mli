@@ -48,4 +48,5 @@ type report = {
       (** leading innermost iterations to peel for chain refills *)
 }
 
+val empty_report : report
 val run : ?config:config -> Ast.kernel -> Ast.kernel * report

@@ -51,7 +51,10 @@ let strip_mine ~index ~tile names (body : stmt list) : stmt list * string option
                   hi = l.hi;
                   step = tile * l.step;
                   body =
-                    [ For { index = il; lo = 0; hi = tile; step = 1; body = inner_body } ];
+                    [ For
+                        { index = il; lo = 0; hi = tile; step = 1;
+                          body = inner_body; l_span = l.l_span } ];
+                  l_span = l.l_span;
                 }
             end
         | For l -> For { l with body = go l.body }

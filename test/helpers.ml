@@ -94,7 +94,7 @@ let gen_kernel : Ast.kernel QCheck2.Gen.t =
   let nest =
     List.fold_right2
       (fun index trip inner ->
-        [ Ast.For { Ast.index; lo = 0; hi = trip; step = 1; body = inner } ])
+        [ Ast.For { Ast.index; lo = 0; hi = trip; step = 1; body = inner; l_span = None } ])
       indices trips body
   in
   return

@@ -200,8 +200,8 @@ let prop_distance_brute_force =
       let trip_i = 5 and trip_j = 5 in
       let loops =
         [
-          { Ast.index = "i"; lo = 0; hi = trip_i; step = 1; body = [] };
-          { Ast.index = "j"; lo = 0; hi = trip_j; step = 1; body = [] };
+          { Ast.index = "i"; lo = 0; hi = trip_i; step = 1; body = []; l_span = None };
+          { Ast.index = "j"; lo = 0; hi = trip_j; step = 1; body = []; l_span = None };
         ]
       in
       let size = 100 in

@@ -122,19 +122,19 @@ let test_spine () =
 
 let test_trip () =
   Alcotest.(check int) "basic" 10
-    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 1; body = [] });
+    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 1; body = []; l_span = None });
   Alcotest.(check int) "strided" 5
-    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 2; body = [] });
+    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 2; body = []; l_span = None });
   Alcotest.(check int) "uneven stride rounds up" 4
-    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 3; body = [] });
+    (Ast.loop_trip { index = "i"; lo = 0; hi = 10; step = 3; body = []; l_span = None });
   Alcotest.(check int) "empty" 0
-    (Ast.loop_trip { index = "i"; lo = 5; hi = 5; step = 1; body = [] })
+    (Ast.loop_trip { index = "i"; lo = 5; hi = 5; step = 1; body = []; l_span = None })
 
 let test_iteration_vectors () =
   let loops =
     [
-      { Ast.index = "i"; lo = 0; hi = 4; step = 2; body = [] };
-      { Ast.index = "j"; lo = 1; hi = 3; step = 1; body = [] };
+      { Ast.index = "i"; lo = 0; hi = 4; step = 2; body = []; l_span = None };
+      { Ast.index = "j"; lo = 1; hi = 3; step = 1; body = []; l_span = None };
     ]
   in
   Alcotest.(check (list (list int)))
@@ -146,7 +146,7 @@ let test_validate_rejects () =
   Alcotest.(check bool) "nonpositive step raises" true
     (try
        ignore
-         (B.kernel "bad" [ Ast.For { index = "i"; lo = 0; hi = 4; step = 0; body = [] } ]);
+         (B.kernel "bad" [ Ast.For { index = "i"; lo = 0; hi = 4; step = 0; body = []; l_span = None } ]);
        false
      with Invalid_argument _ -> true)
 
