@@ -159,6 +159,9 @@ let fraction () =
   let total = ref 0 and totsp = ref 0 in
   let evals = ref 0 and hits = ref 0 and pruned = ref 0 in
   let smhits = ref 0 in
+  (* One pool of worker domains for all twenty sweeps: the domain-spawn
+     cost is paid once per artifact, not once per sweep. *)
+  Engine.Pool.with_pool (Space.default_jobs ()) @@ fun pool ->
   List.iter
     (fun pipelined ->
       List.iter
@@ -169,7 +172,9 @@ let fraction () =
           (* The sweep oracle itself runs two-tier: tier-1 bounds prune
              points that provably cannot beat the best fitting design,
              without changing which design that is. *)
-          let sp = Space.sweep ~max_product:(sweep_product ()) ~prune:true c in
+          let sp =
+            Space.sweep ~max_product:(sweep_product ()) ~prune:true ~pool c
+          in
           evals := !evals + c.Design.stats.Design.evaluations;
           hits := !hits + c.Design.stats.Design.cache_hits;
           pruned := !pruned + sp.Space.pruned;
@@ -208,16 +213,84 @@ let json_of_fields fields =
   ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
   ^ "}"
 
-(** Per kernel: search wall time and evaluations, selected design, and
-    the exhaustive-sweep wall time with and without tier-1 pruning on
-    fresh contexts (sequential, so the times are comparable). Emitted as
-    one JSON document so the perf trajectory is trackable across PRs. *)
+(** Directory for the session phase's persistent store; settable with
+    [--cache-dir] so CI can carry it across jobs. Without the flag a
+    throwaway directory is used and removed afterwards. *)
+let bench_cache_dir : string option ref = ref None
+
+(** Per kernel: search wall time and evaluations, selected design, the
+    exhaustive-sweep wall time with and without tier-1 pruning on fresh
+    contexts (sequential, so the times are comparable), and the batched
+    session's cold-vs-warm wall times over the persistent store. Emitted
+    as one JSON document so the perf trajectory is trackable across PRs. *)
 let dse_json () =
   let file =
     if !smoke then Filename.temp_file "BENCH_dse" ".json" else "BENCH_dse.json"
   in
   let mp = sweep_product () in
   Printf.printf "## json: DSE performance counters -> %s\n" file;
+  (* Session phase: the paper's five kernels as one batched session over
+     a persistent store — cold (loads ignored, results saved), then warm
+     (everything served from the store). The warm run must perform zero
+     full syntheses and select bit-identical designs; smoke mode asserts
+     both, so CI catches a persistence regression. *)
+  let session_dir, transient =
+    match !bench_cache_dir with
+    | Some d -> (d, false)
+    | None ->
+        let f = Filename.temp_file "defacto-bench-cache" "" in
+        Sys.remove f;
+        (f, true)
+  in
+  let tasks =
+    List.map
+      (fun name -> { Engine.name; kernel = Option.get (Kernels.find name) })
+      Kernels.names
+  in
+  let cold_session =
+    Dse.Driver.run_many ~cache_dir:session_dir ~cold:true ~jobs:1 tasks
+  in
+  let warm_session = Dse.Driver.run_many ~cache_dir:session_dir ~jobs:1 tasks in
+  if transient then ignore (Engine.Persist.clear ~cache_dir:session_dir);
+  let session_extra =
+    List.map2
+      (fun (c : Dse.Driver.outcome) (w : Dse.Driver.outcome) ->
+        let unchanged =
+          Design.vector_equal c.Dse.Driver.search.Search.selected.Design.vector
+            w.Dse.Driver.search.Search.selected.Design.vector
+        in
+        if !smoke then begin
+          if w.Dse.Driver.stats.Design.evaluations <> 0 then
+            failwith
+              (Printf.sprintf
+                 "warm session synthesized %d design(s) for %s (want 0)"
+                 w.Dse.Driver.stats.Design.evaluations
+                 c.Dse.Driver.task.Engine.name);
+          if not unchanged then
+            failwith
+              ("warm session selected a different design for "
+             ^ c.Dse.Driver.task.Engine.name)
+        end;
+        ( c.Dse.Driver.task.Engine.name,
+          [
+            ( "search_seconds_cold_session",
+              Printf.sprintf "%.6f" c.Dse.Driver.wall_seconds );
+            ( "search_seconds_warm",
+              Printf.sprintf "%.6f" w.Dse.Driver.wall_seconds );
+            ( "warm_syntheses",
+              string_of_int w.Dse.Driver.stats.Design.evaluations );
+            ("warm_loaded_points", string_of_int w.Dse.Driver.loaded_points);
+            ( "session_sched_memo_hits",
+              string_of_int c.Dse.Driver.stats.Design.sched_memo_hits );
+            ("warm_selection_unchanged", if unchanged then "true" else "false");
+          ] ))
+      cold_session.Dse.Driver.outcomes warm_session.Dse.Driver.outcomes
+  in
+  Printf.printf
+    "#  session: cold %d syntheses, warm %d; %d cross-kernel memo shapes\n"
+    cold_session.Dse.Driver.total.Design.evaluations
+    warm_session.Dse.Driver.total.Design.evaluations
+    cold_session.Dse.Driver.sched_memo_shapes;
   Printf.printf "%-8s %10s %8s %12s %12s %8s %8s %8s %11s %6s\n" "kernel"
     "search(ms)" "evals" "sweep(ms)" "pruned(ms)" "synth" "pruned" "smhits"
     "verify(ms)" "viol";
@@ -267,7 +340,7 @@ let dse_json () =
           (1000.0 *. t_verified)
           c_verified.Design.stats.Design.verify_violations;
         json_of_fields
-          [
+          ([
             ("kernel", Printf.sprintf "%S" name);
             ("search_seconds", Printf.sprintf "%.6f" t_search);
             ( "search_evaluations",
@@ -326,7 +399,8 @@ let dse_json () =
                   best_pruned.Space.vector
               then "true"
               else "false" );
-          ])
+          ]
+          @ List.assoc name session_extra))
       Kernels.names
   in
   let oc = open_out file in
@@ -483,16 +557,17 @@ let smoke_artifacts = [ "fig5"; "tab2"; "frac"; "json" ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--smoke" then begin
-          smoke := true;
-          false
-        end
-        else true)
-      args
+  let rec strip = function
+    | [] -> []
+    | "--smoke" :: rest ->
+        smoke := true;
+        strip rest
+    | "--cache-dir" :: dir :: rest ->
+        bench_cache_dir := Some dir;
+        strip rest
+    | a :: rest -> a :: strip rest
   in
+  let args = strip args in
   match args with
   | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) artifacts
   | [ "--only"; id ] -> (
@@ -512,5 +587,6 @@ let () =
       List.iter (fun id -> (List.assoc id artifacts) ()) ids
   | _ ->
       prerr_endline
-        "usage: main.exe [--smoke] [--list | --only <artifact>]";
+        "usage: main.exe [--smoke] [--cache-dir DIR] [--list | --only \
+         <artifact>]";
       exit 1

@@ -3,16 +3,20 @@
 
     {v
     defacto explore   -k fir                 run the Figure-2 search
+    defacto explore   -k fir -k mm ...       batched multi-kernel session
     defacto estimate  -k mm -u i=2,j=2       synthesize one design point
     defacto transform -k jac -u j=2          print the transformed code
     defacto space     -k pat                 exhaustive design-space sweep
     defacto check     -k fir                 static checks + pipeline validation
     defacto vhdl      -k fir -u j=2,i=2      emit behavioral VHDL
+    defacto cache     stats|clear            inspect/remove a persistent store
     defacto kernels                          list built-in kernels
     v}
 
-    Kernels come from the built-in suite ([-k]) or from a C-subset source
-    file ([-f]). *)
+    Kernels come from the built-in suite ([-k], repeatable for [explore])
+    or from a C-subset source file ([-f]). With [--cache-dir] (or
+    [DEFACTO_CACHE_DIR]) evaluations persist across runs: a warm rerun
+    performs zero full syntheses and selects bit-identical designs. *)
 
 open Cmdliner
 
@@ -114,6 +118,42 @@ let or_die = function
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Engine arguments (persistence + backend) *)
+
+let cache_dir_arg =
+  let doc =
+    "Persist evaluated design points and tri-schedules under $(docv) and \
+     warm-start from whatever earlier runs left there. The store is keyed \
+     on the estimator version and the full device/memory configuration, \
+     so changing either only makes it cold, never stale."
+  in
+  let env = Cmd.Env.info "DEFACTO_CACHE_DIR" ~doc:"Default for --cache-dir." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR" ~env ~doc)
+
+let cold_arg =
+  let doc =
+    "Ignore whatever --cache-dir already holds (the run still saves its \
+     results, refreshing the store)."
+  in
+  Arg.(value & flag & info [ "cold" ] ~doc)
+
+let backend_arg =
+  let doc =
+    Printf.sprintf
+      "Estimator backend: one of %s. $(b,quick+)-prefixed backends gate \
+       full synthesis behind the analytical pre-estimator (admissible: \
+       selections are unchanged); $(b,lowlevel) folds the place-and-route \
+       degradation model into every estimate."
+      (String.concat ", " (List.map (fun n -> "$(b," ^ n ^ ")") Engine.Backend.known_names))
+  in
+  Arg.(value & opt string "quick+full" & info [ "backend" ] ~docv:"NAME" ~doc)
+
+let backend_of_flag name = or_die (Engine.Backend.of_string name)
+
+(* ------------------------------------------------------------------ *)
 (* explore *)
 
 let report_arg =
@@ -136,14 +176,58 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
-let explore kernel file non_pipelined memories capacity report prof verify =
-  let k = or_die (load_kernel kernel file) in
-  let profile = make_profile ~non_pipelined ~memories in
-  let ctx =
-    { (Dse.Design.context ~profile ~verify k) with Dse.Design.capacity }
+let explore_kernels_arg =
+  let doc =
+    "Built-in kernel name (fir, mm, pat, jac, sobel). Repeatable: several \
+     $(b,-k) flags run one batched session over all of them, sharing the \
+     tri-schedule memo, the worker domains and the persistent store."
   in
+  Arg.(value & opt_all string [] & info [ "k"; "kernel" ] ~docv:"NAME" ~doc)
+
+let explore_jobs_arg =
+  let doc =
+    "Size of the session's worker-domain pool (1 disables parallel \
+     sweeps; the default scales with the host's cores)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let load_tasks kernels file : Engine.task list =
+  match (kernels, file) with
+  | [], None ->
+      prerr_endline "defacto: specify a kernel with -k or a source file with -f";
+      exit 1
+  | names, file ->
+      let named =
+        List.map
+          (fun n ->
+            let k = or_die (load_kernel (Some n) None) in
+            { Engine.name = n; kernel = k })
+          names
+      in
+      let from_file =
+        match file with
+        | None -> []
+        | Some _ ->
+            let k = or_die (load_kernel None file) in
+            [ { Engine.name = k.Ir.Ast.k_name; kernel = k } ]
+      in
+      named @ from_file
+
+let explore kernels file non_pipelined memories capacity report prof verify
+    cache_dir cold backend_name jobs =
+  let tasks = load_tasks kernels file in
+  let profile = make_profile ~non_pipelined ~memories in
+  let backend = backend_of_flag backend_name in
   (match report with
   | Some dest ->
+      let k =
+        match tasks with
+        | [ t ] -> t.Engine.kernel
+        | _ ->
+            prerr_endline "defacto: --report takes exactly one kernel";
+            exit 1
+      in
+      let ctx = Dse.Design.context ~profile ~verify ~capacity ~backend k in
       let r = Dse.Report.build ctx in
       let text = Dse.Report.to_string r in
       if dest = "-" then print_string text
@@ -156,42 +240,65 @@ let explore kernel file non_pipelined memories capacity report prof verify =
       end;
       exit 0
   | None -> ());
-  let r = Dse.Search.run ctx in
-  Format.printf "kernel %s (%s memory, %d memories, capacity %d slices)@."
-    k.Ir.Ast.k_name
-    (Hls.Memory_model.name profile.Hls.Estimate.mem)
-    memories capacity;
-  Format.printf "saturation: R=%d W=%d Psat=%d eligible=[%s]@." r.sat.Dse.Saturation.r
-    r.sat.Dse.Saturation.w r.sat.Dse.Saturation.psat
-    (String.concat ", " r.sat.Dse.Saturation.eligible);
-  Format.printf "Uinit = %a@." Dse.Design.pp_vector r.uinit;
+  let summary =
+    Dse.Driver.run_many ?cache_dir ~cold ~profile ~verify ~capacity ~backend
+      ?jobs tasks
+  in
   List.iter
-    (fun (s : Dse.Search.step) ->
-      Format.printf "  %a  [%s]@." Dse.Design.pp_point s.point s.verdict)
-    r.steps;
-  Format.printf "selected: %a@." Dse.Design.pp_point r.selected;
-  let base = Dse.Design.evaluate ctx (Dse.Design.ubase ctx) in
-  Format.printf "baseline: %a@." Dse.Design.pp_point base;
-  Format.printf "speedup over baseline: %.2fx@."
-    (float_of_int (Dse.Design.cycles base) /. float_of_int (Dse.Design.cycles r.selected));
-  Format.printf "stats: %a@." Dse.Design.pp_stats r.stats;
-  if verify then
-    Format.printf "verify: %d design point(s) checked, %d violation(s)@."
-      ctx.Dse.Design.stats.Dse.Design.checked_points
-      ctx.Dse.Design.stats.Dse.Design.verify_violations;
-  if prof then begin
-    Format.printf "profile: %a@." Dse.Design.pp_profile
-      ctx.Dse.Design.stats;
-    Format.printf "profile: %d distinct block shapes in the scheduler memo@."
-      (Dse.Design.sched_memo_size ctx)
-  end
+    (fun (o : Dse.Driver.outcome) ->
+      let r = o.Dse.Driver.search in
+      Format.printf "kernel %s (%s memory, %d memories, capacity %d slices)@."
+        o.Dse.Driver.task.Engine.kernel.Ir.Ast.k_name
+        (Hls.Memory_model.name profile.Hls.Estimate.mem)
+        memories capacity;
+      Format.printf "saturation: R=%d W=%d Psat=%d eligible=[%s]@."
+        r.sat.Dse.Saturation.r r.sat.Dse.Saturation.w r.sat.Dse.Saturation.psat
+        (String.concat ", " r.sat.Dse.Saturation.eligible);
+      Format.printf "Uinit = %a@." Dse.Design.pp_vector r.uinit;
+      List.iter
+        (fun (s : Dse.Search.step) ->
+          Format.printf "  %a  [%s]@." Dse.Design.pp_point s.point s.verdict)
+        r.steps;
+      Format.printf "selected: %a@." Dse.Design.pp_point r.selected;
+      Format.printf "baseline: %a@." Dse.Design.pp_point o.Dse.Driver.baseline;
+      Format.printf "speedup over baseline: %.2fx@." (Dse.Driver.speedup o);
+      Format.printf "stats: %a@." Dse.Design.pp_stats r.stats;
+      if o.Dse.Driver.loaded_points > 0 then
+        Format.printf "warm start: %d point(s) from the persistent store@."
+          o.Dse.Driver.loaded_points;
+      if verify then
+        Format.printf "verify: %d design point(s) checked, %d violation(s)@."
+          o.Dse.Driver.stats.Dse.Design.checked_points
+          o.Dse.Driver.stats.Dse.Design.verify_violations;
+      if prof then begin
+        Format.printf "profile: %a@." Dse.Design.pp_profile o.Dse.Driver.stats;
+        Format.printf
+          "profile: %d distinct block shapes in the scheduler memo@."
+          (Dse.Design.sched_memo_size o.Dse.Driver.ctx)
+      end)
+    summary.Dse.Driver.outcomes;
+  let t = summary.Dse.Driver.total in
+  Format.printf
+    "session: %d synthesized, %d cache hits, %d pruned, %d sched memo hits \
+     over %d kernel(s); %d point(s) and %d tri-schedule(s) warm-loaded@."
+    t.Dse.Design.evaluations t.Dse.Design.cache_hits t.Dse.Design.pruned
+    t.Dse.Design.sched_memo_hits
+    (List.length summary.Dse.Driver.outcomes)
+    (List.fold_left
+       (fun acc (o : Dse.Driver.outcome) -> acc + o.Dse.Driver.loaded_points)
+       0 summary.Dse.Driver.outcomes)
+    summary.Dse.Driver.loaded_memo_shapes;
+  match summary.Dse.Driver.saved_to with
+  | Some dir -> Format.printf "session: store saved to %s@." dir
+  | None -> ()
 
 let explore_cmd =
   let doc = "Run the balance-guided design space exploration (Figure 2)." in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
-      const explore $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ report_arg $ profile_arg $ verify_arg)
+      const explore $ explore_kernels_arg $ file_arg $ pipelined_arg
+      $ memories_arg $ capacity_arg $ report_arg $ profile_arg $ verify_arg
+      $ cache_dir_arg $ cold_arg $ backend_arg $ explore_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -254,13 +361,31 @@ let prune_arg =
   Arg.(value & flag & info [ "prune" ] ~doc)
 
 let space kernel file non_pipelined memories capacity max_product prune jobs
-    verify =
+    verify cache_dir cold backend_name =
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
-  let ctx =
-    { (Dse.Design.context ~profile ~verify k) with Dse.Design.capacity }
+  let backend = backend_of_flag backend_name in
+  let store = Engine.Store.create () in
+  let config =
+    Engine.Persist.config_string ~backend:backend.Engine.Backend.name profile
+      Transform.Pipeline.default
   in
+  let kernel_key = Engine.Persist.kernel_key k in
+  (match cache_dir with
+  | Some dir when not cold ->
+      ignore (Engine.Persist.load_points ~cache_dir:dir ~config ~kernel_key store);
+      ignore
+        (Engine.Persist.load_memo ~cache_dir:dir ~config
+           store.Engine.Store.sched_memo)
+  | _ -> ());
+  let ctx = Dse.Design.context ~profile ~verify ~capacity ~backend ~store k in
   let sp = Dse.Space.sweep ~max_product ~prune ?jobs ctx in
+  (match cache_dir with
+  | Some dir ->
+      Engine.Persist.save_points ~cache_dir:dir ~config ~kernel_key store;
+      Engine.Persist.save_memo ~cache_dir:dir ~config
+        store.Engine.Store.sched_memo
+  | None -> ());
   Format.printf "# %-24s %10s %10s %10s %8s@." "vector" "cycles" "slices"
     "balance" "fits";
   List.iter
@@ -291,7 +416,67 @@ let space_cmd =
   Cmd.v (Cmd.info "space" ~doc)
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
-      $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg $ verify_arg)
+      $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg $ verify_arg
+      $ cache_dir_arg $ cold_arg $ backend_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache *)
+
+let cache_action_arg =
+  let doc = "$(b,stats) summarizes the store; $(b,clear) removes it." in
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+    & info [] ~docv:"ACTION" ~doc)
+
+let cache action cache_dir =
+  let dir =
+    match cache_dir with
+    | Some d -> d
+    | None ->
+        prerr_endline
+          "defacto: cache: specify --cache-dir (or set DEFACTO_CACHE_DIR)";
+        exit 1
+  in
+  match action with
+  | `Stats ->
+      let s = Engine.Persist.stats ~cache_dir:dir in
+      if not s.Engine.Persist.ds_exists then
+        Format.printf "%s: no store@." dir
+      else begin
+        Format.printf "%s: %d configuration(s), %d byte(s)@." dir
+          (List.length s.Engine.Persist.ds_configs)
+          s.Engine.Persist.ds_bytes;
+        List.iter
+          (fun (c : Engine.Persist.config_stats) ->
+            Format.printf
+              "  %s: %d point(s) in %d kernel file(s), %d memo shape(s)%s@."
+              c.Engine.Persist.cs_key c.Engine.Persist.cs_points
+              c.Engine.Persist.cs_point_files
+              (max 0 c.Engine.Persist.cs_memo_shapes)
+              (if c.Engine.Persist.cs_invalid > 0 then
+                 Printf.sprintf ", %d invalid file(s)"
+                   c.Engine.Persist.cs_invalid
+               else "");
+            match c.Engine.Persist.cs_config with
+            | Some cfg -> Format.printf "    %s@." cfg
+            | None -> ())
+          s.Engine.Persist.ds_configs
+      end
+  | `Clear ->
+      let removed, kept = Engine.Persist.clear ~cache_dir:dir in
+      Format.printf "%s: removed %d file(s)%s@." dir removed
+        (if kept > 0 then
+           Printf.sprintf ", kept %d unrecognized file(s)" kept
+         else "")
+
+let cache_cmd =
+  let doc =
+    "Inspect ($(b,stats)) or remove ($(b,clear)) a persistent evaluation \
+     store. $(b,clear) only deletes files matching the store's own layout, \
+     so a mistyped directory cannot lose foreign data."
+  in
+  Cmd.v (Cmd.info "cache" ~doc) Term.(const cache $ cache_action_arg $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check *)
@@ -437,6 +622,7 @@ let main =
       estimate_cmd;
       transform_cmd;
       space_cmd;
+      cache_cmd;
       check_cmd;
       vhdl_cmd;
       simulate_cmd;

@@ -1,22 +1,26 @@
 (** A design point: one unroll-factor vector, the code it generates, and
     the behavioral synthesis estimates for it. Evaluating a point is the
-    `Generate; Synthesize; Balance` sequence of the paper's Figure 2.
+    [Generate; Synthesize; Balance] sequence of the paper's Figure 2.
 
-    Evaluation is memoized: every context carries a cache keyed on the
-    normalized unroll vector, shared by the search, the exhaustive sweep,
-    and the drivers, plus counters ([stats]) that record how many designs
-    were actually synthesized versus served from the cache. *)
+    Since the layered-engine refactor this module is a thin view over
+    {!Engine}: a [context] bundles an evaluation environment
+    ({!Engine.Backend.env}), a pluggable backend ({!Engine.Backend.t})
+    and a unified store ({!Engine.Store.t} — point cache, tri-schedule
+    memo and counters with one fork/absorb lifecycle and a persistent
+    on-disk form). Every evaluation anywhere in the system goes through
+    [Engine.Backend.evaluate]; nothing here talks to the estimator
+    directly. *)
 
 open Ir
 
-type point = {
+type point = Engine.Store.point = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
 }
 
-type stats = {
+type stats = Engine.Store.stats = {
   mutable evaluations : int;
       (** cache misses: full [Generate; Synthesize] runs *)
   mutable cache_hits : int;
@@ -42,21 +46,7 @@ type stats = {
       (** error-severity validation findings across checked points *)
 }
 
-let fresh_stats () =
-  {
-    evaluations = 0;
-    cache_hits = 0;
-    quick_estimates = 0;
-    pruned = 0;
-    transform_seconds = 0.0;
-    estimate_seconds = 0.0;
-    dfg_seconds = 0.0;
-    schedule_seconds = 0.0;
-    layout_seconds = 0.0;
-    sched_memo_hits = 0;
-    checked_points = 0;
-    verify_violations = 0;
-  }
+let fresh_stats = Engine.Store.fresh_stats
 
 type context = {
   source : Ast.kernel;  (** the input loop nest *)
@@ -66,68 +56,70 @@ type context = {
   spine_divisors : (string * int list) list;
       (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;  (** base options (vector is set per point) *)
-  cache : ((string * int) list, point) Hashtbl.t;
-      (** evaluation memo, keyed on the normalized vector *)
-  sched_memo : Hls.Schedule.memo;
-      (** content-addressed tri-schedule table keyed on
-          {!Hls.Dfg.fingerprint}: each distinct block shape is scheduled
-          once per context — across blocks of one point, across lattice
-          points, and (via {!fork}/{!absorb}) across sweep domains *)
+  backend : Engine.Backend.t;
+      (** the fidelity level evaluations run at; the default is the
+          two-tier composition [quick_gate full] *)
+  store : Engine.Store.t;
+      (** point cache + tri-schedule memo + counters. Updating
+          [pipeline] or [profile] with a record update invalidates the
+          cached points — build a fresh context instead (updating
+          [capacity] is fine for the [full] backends: it does not enter
+          behavioral evaluation). *)
   quick_facts : Hls.Quick.facts option Lazy.t;
-      (** tier-1 pre-estimator facts; [None] when the pipeline tiles
-          (strip-mining adds loops the source skeleton cannot see) *)
+      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
   verify : bool;
       (** translation-validate every uncached evaluation
           ({!Check.Validate}); selections are bit-identical, violations
           are counted in [stats] *)
-  stats : stats;
+  stats : stats;  (** alias of [store.stats] — kept as a field so the
+          historical [ctx.stats.evaluations] accesses keep working *)
 }
 
-let context ?(pipeline = Transform.Pipeline.default)
-    ?(profile = Hls.Estimate.default_profile ()) ?(verify = false)
-    (source : Ast.kernel) =
-  let spine = Loop_nest.spine source.k_body in
+(** The engine view of a context: same fields, minus the mutable store.
+    Cheap (one record allocation); the quick-facts suspension is shared,
+    not rebuilt. *)
+let env (ctx : context) : Engine.Backend.env =
   {
-    source;
-    profile;
-    capacity = profile.Hls.Estimate.device.Hls.Device.capacity_slices;
-    spine;
-    spine_divisors =
-      List.map
-        (fun (l : Ast.loop) -> (l.index, Util.divisors (Ast.loop_trip l)))
-        spine;
-    pipeline;
-    cache = Hashtbl.create 64;
-    sched_memo = Hls.Schedule.memo_create ();
-    quick_facts =
-      lazy
-        (if pipeline.Transform.Pipeline.tile <> None then None
-         else
-           Some
-             (Hls.Quick.facts ~device:profile.Hls.Estimate.device
-                ~mem:profile.Hls.Estimate.mem source));
-    verify;
-    stats = fresh_stats ();
+    Engine.Backend.source = ctx.source;
+    profile = ctx.profile;
+    capacity = ctx.capacity;
+    spine = ctx.spine;
+    spine_divisors = ctx.spine_divisors;
+    pipeline = ctx.pipeline;
+    quick_facts = ctx.quick_facts;
+    verify = ctx.verify;
   }
 
-(** Normalise a vector to cover every spine loop, with factors clamped to
-    divisors of the trip counts (the space the search explores; a
-    non-divisor factor would leave an epilogue that defeats scalar
-    replacement). The largest divisor no greater than the requested
-    factor comes from the context's precomputed divisor lists rather
-    than a linear downward scan. *)
+(** A context over an engine-built environment and an existing (possibly
+    warm-loaded) store — how the session driver hands evaluation state
+    to the search. *)
+let of_env ?(backend = Engine.Backend.default) ~(store : Engine.Store.t)
+    (env : Engine.Backend.env) : context =
+  {
+    source = env.Engine.Backend.source;
+    profile = env.Engine.Backend.profile;
+    capacity = env.Engine.Backend.capacity;
+    spine = env.Engine.Backend.spine;
+    spine_divisors = env.Engine.Backend.spine_divisors;
+    pipeline = env.Engine.Backend.pipeline;
+    backend;
+    store;
+    quick_facts = env.Engine.Backend.quick_facts;
+    verify = env.Engine.Backend.verify;
+    stats = store.Engine.Store.stats;
+  }
+
+let context ?pipeline ?profile ?verify ?capacity ?backend ?store
+    (source : Ast.kernel) =
+  let store =
+    match store with Some s -> s | None -> Engine.Store.create ()
+  in
+  of_env ?backend ~store
+    (Engine.Backend.make_env ?pipeline ?profile ?verify ?capacity source)
+
 let normalize_vector (ctx : context) (v : (string * int) list) :
     (string * int) list =
-  List.map2
-    (fun (l : Ast.loop) (_, divs) ->
-      let u = max 1 (Option.value ~default:1 (List.assoc_opt l.index v)) in
-      let u = min u (Ast.loop_trip l) in
-      (* divisor lists are ascending; keep the largest one <= u *)
-      let d =
-        List.fold_left (fun best d -> if d <= u then d else best) 1 divs
-      in
-      (l.index, d))
-    ctx.spine ctx.spine_divisors
+  Engine.Backend.normalize_vector (env ctx) v
 
 let product v = List.fold_left (fun acc (_, u) -> acc * u) 1 v
 
@@ -149,190 +141,64 @@ let ubase (ctx : context) = List.map (fun (l : Ast.loop) -> (l.index, 1)) ctx.sp
 let umax (ctx : context) =
   List.map (fun (l : Ast.loop) -> (l.index, Ast.loop_trip l)) ctx.spine
 
-(** Generate the code for a vector and estimate it — the paper's
-    [Generate] followed by [Synthesize] — bypassing the cache (the
-    result is not stored either). Still bumps [stats]. *)
+(** The backend's synthesis, bypassing the point cache (neither read nor
+    written). Still bumps the store's counters. *)
 let evaluate_uncached (ctx : context) (v : (string * int) list) : point =
-  let v = normalize_vector ctx v in
-  let opts = { ctx.pipeline with Transform.Pipeline.vector = v } in
-  let t0 = Util.now () in
-  let r =
-    if not ctx.verify then Transform.Pipeline.apply opts ctx.source
-    else begin
-      (* Verified evaluation: same pipeline, instrumented per stage by
-         the translation validator. The transformed result is
-         bit-identical; error-severity findings only bump the violation
-         counter (the sweep itself is the paper's experiment — reporting
-         stays the job of the drivers). *)
-      let outcome = Check.Validate.run ~options:opts ctx.source in
-      ctx.stats.checked_points <- ctx.stats.checked_points + 1;
-      ctx.stats.verify_violations <-
-        ctx.stats.verify_violations
-        + List.length (Check.Validate.violations outcome);
-      match outcome.Check.Validate.result with
-      | Some r -> r
-      | None ->
-          (* The pipeline raised mid-stage; surface it like the
-             unverified path would. *)
-          failwith
-            (String.concat "; "
-               (List.map Check.Diag.render
-                  (Check.Validate.violations outcome)))
-    end
-  in
-  let t1 = Util.now () in
-  let timers = Hls.Estimate.fresh_timers () in
-  let estimate =
-    Hls.Estimate.estimate ~sched_memo:ctx.sched_memo ~timers ctx.profile
-      r.Transform.Pipeline.kernel
-  in
-  let t2 = Util.now () in
-  ctx.stats.evaluations <- ctx.stats.evaluations + 1;
-  ctx.stats.transform_seconds <- ctx.stats.transform_seconds +. (t1 -. t0);
-  ctx.stats.estimate_seconds <- ctx.stats.estimate_seconds +. (t2 -. t1);
-  ctx.stats.dfg_seconds <-
-    ctx.stats.dfg_seconds +. timers.Hls.Estimate.dfg_seconds;
-  ctx.stats.schedule_seconds <-
-    ctx.stats.schedule_seconds +. timers.Hls.Estimate.schedule_seconds;
-  ctx.stats.layout_seconds <-
-    ctx.stats.layout_seconds +. timers.Hls.Estimate.layout_seconds;
-  ctx.stats.sched_memo_hits <-
-    ctx.stats.sched_memo_hits + timers.Hls.Estimate.sched_memo_hits;
-  {
-    vector = v;
-    kernel = r.Transform.Pipeline.kernel;
-    estimate;
-    report = r.Transform.Pipeline.report;
-  }
+  ctx.backend.Engine.Backend.synthesize (env ctx) ctx.store
+    (normalize_vector ctx v)
 
-(** Cached [Generate; Synthesize]: vectors are normalized before the
-    cache lookup, so any two spellings of the same design share one
-    synthesis run. *)
+(** Cached [Generate; Synthesize] through the context's store: vectors
+    are normalized before the cache lookup, so any two spellings of the
+    same design share one synthesis run. *)
 let evaluate (ctx : context) (v : (string * int) list) : point =
-  let key = normalize_vector ctx v in
-  match Hashtbl.find_opt ctx.cache key with
-  | Some p ->
-      ctx.stats.cache_hits <- ctx.stats.cache_hits + 1;
-      p
-  | None ->
-      let p = evaluate_uncached ctx key in
-      Hashtbl.replace ctx.cache key p;
-      p
+  Engine.Backend.evaluate (env ctx) ctx.backend ctx.store v
 
 (* ------------------------------------------------------------------ *)
 (* Tier-1 analytical bounds *)
 
-(** Admissible lower bounds for the design point at [v], without
-    generating or estimating anything — the two-tier engine's tier 1.
-    [None] when the pre-estimator does not apply (tiling pipeline). *)
+(** The backend's tier-1 bound for the design point at [v] — admissible
+    lower bounds without generating or estimating anything. [None] when
+    the backend has no bound tier (plain [full]/[lowlevel]) or the
+    pre-estimator does not apply (tiling pipeline); callers must then
+    synthesize instead of pruning. *)
 let quick (ctx : context) (v : (string * int) list) : Hls.Quick.t option =
-  match Lazy.force ctx.quick_facts with
-  | None -> None
-  | Some facts ->
-      ctx.stats.quick_estimates <- ctx.stats.quick_estimates + 1;
-      Some (Hls.Quick.bound facts ~vector:(normalize_vector ctx v))
+  ctx.backend.Engine.Backend.bound (env ctx) ctx.store v
 
 (** Record that one full synthesis was skipped on tier-1 evidence. *)
 let note_pruned (ctx : context) =
   ctx.stats.pruned <- ctx.stats.pruned + 1
 
 (* ------------------------------------------------------------------ *)
-(* Cache and statistics plumbing *)
+(* Store and statistics plumbing *)
 
-let cache_size (ctx : context) = Hashtbl.length ctx.cache
+let cache_size (ctx : context) = Engine.Store.size ctx.store
 
 (** Distinct block shapes whose tri-schedule is memoized. *)
-let sched_memo_size (ctx : context) = Hls.Schedule.memo_size ctx.sched_memo
+let sched_memo_size (ctx : context) = Engine.Store.sched_memo_size ctx.store
 
-let reset_stats (ctx : context) =
-  ctx.stats.evaluations <- 0;
-  ctx.stats.cache_hits <- 0;
-  ctx.stats.quick_estimates <- 0;
-  ctx.stats.pruned <- 0;
-  ctx.stats.transform_seconds <- 0.0;
-  ctx.stats.estimate_seconds <- 0.0;
-  ctx.stats.dfg_seconds <- 0.0;
-  ctx.stats.schedule_seconds <- 0.0;
-  ctx.stats.layout_seconds <- 0.0;
-  ctx.stats.sched_memo_hits <- 0;
-  ctx.stats.checked_points <- 0;
-  ctx.stats.verify_violations <- 0
+let reset_stats (ctx : context) = Engine.Store.reset_stats ctx.stats
 
 (** Immutable copy of the context's counters (for before/after deltas). *)
-let stats_snapshot (ctx : context) : stats =
-  {
-    evaluations = ctx.stats.evaluations;
-    cache_hits = ctx.stats.cache_hits;
-    quick_estimates = ctx.stats.quick_estimates;
-    pruned = ctx.stats.pruned;
-    transform_seconds = ctx.stats.transform_seconds;
-    estimate_seconds = ctx.stats.estimate_seconds;
-    dfg_seconds = ctx.stats.dfg_seconds;
-    schedule_seconds = ctx.stats.schedule_seconds;
-    layout_seconds = ctx.stats.layout_seconds;
-    sched_memo_hits = ctx.stats.sched_memo_hits;
-    checked_points = ctx.stats.checked_points;
-    verify_violations = ctx.stats.verify_violations;
-  }
+let stats_snapshot (ctx : context) : stats = Engine.Store.stats_copy ctx.stats
 
-let stats_diff ~(before : stats) ~(after : stats) : stats =
-  {
-    evaluations = after.evaluations - before.evaluations;
-    cache_hits = after.cache_hits - before.cache_hits;
-    quick_estimates = after.quick_estimates - before.quick_estimates;
-    pruned = after.pruned - before.pruned;
-    transform_seconds = after.transform_seconds -. before.transform_seconds;
-    estimate_seconds = after.estimate_seconds -. before.estimate_seconds;
-    dfg_seconds = after.dfg_seconds -. before.dfg_seconds;
-    schedule_seconds = after.schedule_seconds -. before.schedule_seconds;
-    layout_seconds = after.layout_seconds -. before.layout_seconds;
-    sched_memo_hits = after.sched_memo_hits - before.sched_memo_hits;
-    checked_points = after.checked_points - before.checked_points;
-    verify_violations = after.verify_violations - before.verify_violations;
-  }
+let stats_diff = Engine.Store.stats_diff
 
 (** A private copy of [ctx] for one domain of a parallel sweep: shares
-    the immutable fields, snapshots the current cache, and starts fresh
-    counters. Never share one mutable context across domains — fork per
-    domain and [absorb] the forks back on the joining side. *)
+    the immutable fields, snapshots the store's caches, and starts fresh
+    counters — no mutable state, counters included, is ever shared
+    across domains. Never share one mutable context across domains —
+    fork per domain and [absorb] the forks back on the joining side. *)
 let fork (ctx : context) : context =
   (* Lazy.force is not domain-safe: settle the shared suspension here,
      on the forking side, before any domain can race on it. *)
   ignore (Lazy.force ctx.quick_facts);
-  {
-    ctx with
-    cache = Hashtbl.copy ctx.cache;
-    sched_memo = Hls.Schedule.memo_copy ctx.sched_memo;
-    stats = fresh_stats ();
-  }
+  let store = Engine.Store.fork ctx.store in
+  { ctx with store; stats = store.Engine.Store.stats }
 
 (** Merge a fork's cache entries, tri-schedule memo and counters back
     into [into] (entries already present in [into] are kept as-is). *)
 let absorb ~(into : context) (forked : context) : unit =
-  Hashtbl.iter
-    (fun k p -> if not (Hashtbl.mem into.cache k) then Hashtbl.replace into.cache k p)
-    forked.cache;
-  Hls.Schedule.memo_absorb ~into:into.sched_memo forked.sched_memo;
-  into.stats.evaluations <- into.stats.evaluations + forked.stats.evaluations;
-  into.stats.cache_hits <- into.stats.cache_hits + forked.stats.cache_hits;
-  into.stats.quick_estimates <-
-    into.stats.quick_estimates + forked.stats.quick_estimates;
-  into.stats.pruned <- into.stats.pruned + forked.stats.pruned;
-  into.stats.transform_seconds <-
-    into.stats.transform_seconds +. forked.stats.transform_seconds;
-  into.stats.estimate_seconds <-
-    into.stats.estimate_seconds +. forked.stats.estimate_seconds;
-  into.stats.dfg_seconds <- into.stats.dfg_seconds +. forked.stats.dfg_seconds;
-  into.stats.schedule_seconds <-
-    into.stats.schedule_seconds +. forked.stats.schedule_seconds;
-  into.stats.layout_seconds <-
-    into.stats.layout_seconds +. forked.stats.layout_seconds;
-  into.stats.sched_memo_hits <-
-    into.stats.sched_memo_hits + forked.stats.sched_memo_hits;
-  into.stats.checked_points <-
-    into.stats.checked_points + forked.stats.checked_points;
-  into.stats.verify_violations <-
-    into.stats.verify_violations + forked.stats.verify_violations
+  Engine.Store.absorb ~into:into.store forked.store
 
 let balance (p : point) = p.estimate.Hls.Estimate.balance
 let space (p : point) = p.estimate.Hls.Estimate.slices

@@ -2,21 +2,24 @@
     the behavioral synthesis estimates for it. Evaluating a point is the
     [Generate; Synthesize; Balance] sequence of the paper's Figure 2.
 
-    Evaluation is memoized: every context carries a cache keyed on the
-    normalized unroll vector, shared by the search, the exhaustive sweep,
-    and the drivers, plus counters ([stats]) that record how many designs
-    were actually synthesized versus served from the cache. *)
+    This module is a view over the layered engine: a [context] bundles
+    an evaluation environment, a pluggable backend
+    ({!Engine.Backend.t} — [full], [lowlevel], or either behind the
+    analytical tier-1 gate) and a unified store ({!Engine.Store.t} —
+    point cache, tri-schedule memo and counters, forkable across sweep
+    domains and persistable across runs). Every evaluation in the
+    system goes through here into [Engine.Backend.evaluate]. *)
 
 open Ir
 
-type point = {
+type point = Engine.Store.point = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
 }
 
-type stats = {
+type stats = Engine.Store.stats = {
   mutable evaluations : int;
       (** cache misses: full [Generate; Synthesize] runs *)
   mutable cache_hits : int;
@@ -53,18 +56,15 @@ type context = {
       (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;
       (** base options; the vector is set per point *)
-  cache : ((string * int) list, point) Hashtbl.t;
-      (** evaluation memo, keyed on the normalized vector. Updating
+  backend : Engine.Backend.t;
+      (** the fidelity level evaluations run at; defaults to the
+          two-tier composition [Engine.Backend.default] *)
+  store : Engine.Store.t;
+      (** point cache + tri-schedule memo + counters. Updating
           [pipeline] or [profile] with a record update invalidates the
           cached points — build a fresh context with {!context} instead
-          (updating [capacity] is fine: it does not enter evaluation). *)
-  sched_memo : Hls.Schedule.memo;
-      (** content-addressed tri-schedule table keyed on
-          {!Hls.Dfg.fingerprint}: each distinct block shape is scheduled
-          once per context — across blocks of one point, across lattice
-          points, and (via {!fork}/{!absorb}) across sweep domains. The
-          memo is exact, so estimates are bit-identical with or without
-          it. Like [cache], it is tied to [pipeline]/[profile]. *)
+          (updating [capacity] is fine for the behavioral backends: it
+          does not enter evaluation). *)
   quick_facts : Hls.Quick.facts option Lazy.t;
       (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
   verify : bool;
@@ -73,14 +73,30 @@ type context = {
           are bit-identical to an unverified run; error-severity
           findings bump [stats.verify_violations] *)
   stats : stats;
+      (** alias of [store.stats]; merged across domains on {!absorb} *)
 }
 
+(** Build a context. [store] plugs in an existing (possibly warm-loaded
+    or memo-sharing) store; the default is fresh and empty. [capacity]
+    overrides the device's slice capacity. *)
 val context :
   ?pipeline:Transform.Pipeline.options ->
   ?profile:Hls.Estimate.profile ->
   ?verify:bool ->
+  ?capacity:int ->
+  ?backend:Engine.Backend.t ->
+  ?store:Engine.Store.t ->
   Ast.kernel ->
   context
+
+(** The engine view of a context (cheap: one record allocation, shared
+    quick-facts suspension). *)
+val env : context -> Engine.Backend.env
+
+(** A context over an engine-built environment and an existing store —
+    how the session driver hands evaluation state to the search. *)
+val of_env :
+  ?backend:Engine.Backend.t -> store:Engine.Store.t -> Engine.Backend.env -> context
 
 (** Cover every spine loop and clamp factors to divisors of the trip
     counts — the space the search explores (a non-divisor factor leaves
@@ -101,22 +117,23 @@ val ubase : context -> (string * int) list
 (** Full unrolling of every loop. *)
 val umax : context -> (string * int) list
 
-(** Generate the code for a vector and estimate it, through the cache:
-    vectors are normalized before lookup, so any two spellings of the
-    same design share one synthesis run. *)
+(** Generate the code for a vector and estimate it, through the store's
+    point cache: vectors are normalized before lookup, so any two
+    spellings of the same design share one synthesis run. *)
 val evaluate : context -> (string * int) list -> point
 
 (** Like {!evaluate} but bypassing the cache entirely (neither read nor
     written); still counted in [stats]. *)
 val evaluate_uncached : context -> (string * int) list -> point
 
-(** Tier 1 of the two-tier engine: admissible lower bounds on the
-    point's cycles and slices straight from the source kernel — no
-    code generation, no scheduling. The bounds never exceed what
-    {!evaluate} would report for the same vector, so callers may skip
-    evaluation of points they disqualify without changing any
-    selection. [None] when the pre-estimator does not apply (tiling
-    pipelines). Counted in [stats.quick_estimates]. *)
+(** The backend's tier-1 bound: admissible lower bounds on the point's
+    cycles and slices straight from the source kernel — no code
+    generation, no scheduling. The bounds never exceed what {!evaluate}
+    would report for the same vector, so callers may skip evaluation of
+    points they disqualify without changing any selection. [None] when
+    the backend has no bound tier (plain [full]/[lowlevel]) or the
+    pre-estimator does not apply (tiling pipelines); callers must then
+    evaluate instead of pruning. Counted in [stats.quick_estimates]. *)
 val quick : context -> (string * int) list -> Hls.Quick.t option
 
 (** Record that one full synthesis was skipped on tier-1 evidence
@@ -137,11 +154,12 @@ val stats_snapshot : context -> stats
 val stats_diff : before:stats -> after:stats -> stats
 
 (** A private copy of [ctx] for one domain of a parallel sweep: shares
-    the immutable fields, snapshots the current cache, and starts fresh
+    the immutable fields, snapshots the store's caches, and starts fresh
     counters. Never share one mutable context across domains. *)
 val fork : context -> context
 
-(** Merge a fork's cache entries and counters back into [into]. *)
+(** Merge a fork's cache entries, schedule memo and counters back into
+    [into]. *)
 val absorb : into:context -> context -> unit
 
 val balance : point -> float

@@ -71,12 +71,24 @@ let divisor_vectors ?(max_product = max_int) (ctx : Design.context)
   in
   List.rev (go ctx.Design.spine ctx.Design.spine_divisors max_product [] [])
 
-(* Evaluate [vectors] on [jobs] domains. Work is handed out in chunks
-   from an atomic cursor; each domain writes its results at the vectors'
+(* Run one worker thunk per fork: on the caller's own spawned domains,
+   or on a shared {!Engine.Pool} when the session provides one (the
+   multi-kernel driver runs many sweeps; reusing its pool keeps the
+   domain-spawn cost per session instead of per sweep). Either way the
+   call returns only when every worker has drained the cursor. *)
+let run_workers ?pool (workers : (unit -> unit) array) =
+  match pool with
+  | Some p -> Engine.Pool.run p (Array.to_list workers)
+  | None ->
+      let domains = Array.map Domain.spawn workers in
+      Array.iter Domain.join domains
+
+(* Evaluate [vectors] on [jobs] workers. Work is handed out in chunks
+   from an atomic cursor; each worker writes its results at the vectors'
    original indices, so the merged order matches the sequential order.
-   Every domain gets a {!Design.fork} seeded with the current cache, and
+   Every worker gets a {!Design.fork} seeded with the current cache, and
    the forks are absorbed back after the join. *)
-let evaluate_parallel ~jobs (ctx : Design.context) (vectors : (string * int) list array) :
+let evaluate_parallel ?pool ~jobs (ctx : Design.context) (vectors : (string * int) list array) :
     sweep_point array =
   let n = Array.length vectors in
   let results : sweep_point option array = Array.make n None in
@@ -96,8 +108,7 @@ let evaluate_parallel ~jobs (ctx : Design.context) (vectors : (string * int) lis
     in
     loop ()
   in
-  let domains = Array.map (fun fork -> Domain.spawn (worker fork)) forks in
-  Array.iter Domain.join domains;
+  run_workers ?pool (Array.map worker forks);
   Array.iter (fun fork -> Design.absorb ~into:ctx fork) forks;
   Array.map (function Some sp -> sp | None -> assert false) results
 
@@ -113,7 +124,7 @@ let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
    several domains the *set* of pruned points may vary between runs
    (a slower domain may evaluate a point a faster run would skip), but
    the selected designs never do. *)
-let evaluate_pruned ~jobs ~prune_slack (ctx : Design.context)
+let evaluate_pruned ?pool ~jobs ~prune_slack (ctx : Design.context)
     (vecs : (string * int) list array) (q : Hls.Quick.t array) :
     sweep_point option array =
   let n = Array.length vecs in
@@ -177,14 +188,13 @@ let evaluate_pruned ~jobs ~prune_slack (ctx : Design.context)
       in
       loop ()
     in
-    let domains = Array.map (fun fork -> Domain.spawn (worker fork)) forks in
-    Array.iter Domain.join domains;
+    run_workers ?pool (Array.map worker forks);
     Array.iter (fun fork -> Design.absorb ~into:ctx fork) forks
   end;
   results
 
 let sweep ?eligible ?(max_product = max_int) ?(prune = false)
-    ?(prune_slack = 0.05) ?jobs (ctx : Design.context) : t =
+    ?(prune_slack = 0.05) ?jobs ?pool (ctx : Design.context) : t =
   let sat =
     lazy
       (Saturation.compute ~pipeline:ctx.Design.pipeline
@@ -197,7 +207,12 @@ let sweep ?eligible ?(max_product = max_int) ?(prune = false)
     | None -> (Lazy.force sat).Saturation.eligible
   in
   let vectors = divisor_vectors ~max_product ctx ~eligible in
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs =
+    match (jobs, pool) with
+    | Some j, _ -> max 1 j
+    | None, Some p -> Engine.Pool.size p
+    | None, None -> default_jobs ()
+  in
   (* Tier-1 bounds for the whole lattice; unavailable (tiling) means the
      sweep silently falls back to exhaustive evaluation. *)
   let quicks =
@@ -211,7 +226,7 @@ let sweep ?eligible ?(max_product = max_int) ?(prune = false)
     match quicks with
     | Some q ->
         let vecs = Array.of_list vectors in
-        let results = evaluate_pruned ~jobs ~prune_slack ctx vecs q in
+        let results = evaluate_pruned ?pool ~jobs ~prune_slack ctx vecs q in
         let pts = List.filter_map (fun x -> x) (Array.to_list results) in
         (pts, Array.length vecs - List.length pts)
     | None ->
@@ -219,7 +234,8 @@ let sweep ?eligible ?(max_product = max_int) ?(prune = false)
           if jobs <= 1 || List.length vectors < 2 * jobs then
             List.map (fun v -> { vector = v; point = Design.evaluate ctx v }) vectors
           else
-            Array.to_list (evaluate_parallel ~jobs ctx (Array.of_list vectors))
+            Array.to_list
+              (evaluate_parallel ?pool ~jobs ctx (Array.of_list vectors))
         in
         (pts, 0)
   in

@@ -49,13 +49,19 @@ val default_jobs : unit -> int
     the pruned *set* may vary between runs (domain timing decides
     which points see the incumbent early), the selections never do.
     When tier 1 does not apply (tiling pipelines) the sweep silently
-    falls back to exhaustive evaluation. *)
+    falls back to exhaustive evaluation.
+
+    [pool] runs the workers on a shared {!Engine.Pool} instead of
+    spawning fresh domains — the multi-kernel session passes its pool so
+    the domain-spawn cost is paid once per session, not once per sweep.
+    With a pool, [jobs] defaults to the pool's size. *)
 val sweep :
   ?eligible:string list ->
   ?max_product:int ->
   ?prune:bool ->
   ?prune_slack:float ->
   ?jobs:int ->
+  ?pool:Engine.Pool.t ->
   Design.context ->
   t
 

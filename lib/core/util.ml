@@ -1,11 +1,10 @@
 (** Small helpers shared by the design-space modules (and the bench
-    harness), so the divisor enumeration exists in exactly one place. *)
+    harness). The implementations live in the engine library now; these
+    aliases keep the historical [Dse.Util] call sites working. *)
 
 (** Positive divisors of [n] in ascending order ([divisors 12] is
     [1; 2; 3; 4; 6; 12]). [n <= 0] has no positive divisors. *)
-let divisors n =
-  if n <= 0 then []
-  else List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+let divisors = Engine.Util.divisors
 
 (** Wall-clock timestamp in seconds, for the evaluation statistics. *)
-let now () = Unix.gettimeofday ()
+let now = Engine.Util.now

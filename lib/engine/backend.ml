@@ -1,0 +1,245 @@
+(** Pluggable estimator backends: the fidelity levels at which a design
+    point can be evaluated, as first-class values.
+
+    - {!full} is the paper's [Generate; Synthesize] — transform pipeline,
+      DFG construction, fused tri-mode scheduling, data layout.
+    - {!lowlevel} is {!full} composed with the P&R degradation model
+      ({!Hls.Lowlevel}): the stored estimate carries the post-route area
+      and the achieved-clock execution time instead of the behavioral
+      ones.
+    - {!quick_gate} is the tiered composition: it puts the closed-form
+      analytical pre-estimator ({!Hls.Quick}) in front of any backend as
+      its {!type-t.bound} tier, which is what the two-tier sweep and the
+      search's capacity gate consult before paying for a synthesis. The
+      bounds are admissible for {!full} (and remain admissible for
+      {!lowlevel}, whose area and time only grow), so gating never
+      changes a selection — only the set of synthesized points.
+
+    A backend evaluates against an immutable {!env} (the evaluation
+    environment a [Dse.Design.context] is a view of) and a mutable
+    {!Store.t} (caches and counters). The backend's [name] identifies the
+    fidelity level in the persistent store key: points cached under one
+    backend are never served to another. *)
+
+open Ir
+
+type env = {
+  source : Ast.kernel;  (** the input loop nest *)
+  profile : Hls.Estimate.profile;
+  capacity : int;  (** device slices *)
+  spine : Ast.loop list;
+  spine_divisors : (string * int list) list;
+      (** ascending divisors of each spine loop's trip count *)
+  pipeline : Transform.Pipeline.options;
+      (** base options (the vector is set per point) *)
+  quick_facts : Hls.Quick.facts option Lazy.t;
+      (** tier-1 pre-estimator facts; [None] when the pipeline tiles
+          (strip-mining adds loops the source skeleton cannot see) *)
+  verify : bool;
+      (** translation-validate every uncached evaluation
+          ({!Check.Validate}); selections are bit-identical, violations
+          are counted in the store's stats *)
+}
+
+let make_env ?(pipeline = Transform.Pipeline.default)
+    ?(profile = Hls.Estimate.default_profile ()) ?(verify = false) ?capacity
+    (source : Ast.kernel) : env =
+  let spine = Loop_nest.spine source.k_body in
+  {
+    source;
+    profile;
+    capacity =
+      (match capacity with
+      | Some c -> c
+      | None -> profile.Hls.Estimate.device.Hls.Device.capacity_slices);
+    spine;
+    spine_divisors =
+      List.map
+        (fun (l : Ast.loop) -> (l.index, Util.divisors (Ast.loop_trip l)))
+        spine;
+    pipeline;
+    quick_facts =
+      lazy
+        (if pipeline.Transform.Pipeline.tile <> None then None
+         else
+           Some
+             (Hls.Quick.facts ~device:profile.Hls.Estimate.device
+                ~mem:profile.Hls.Estimate.mem source));
+    verify;
+  }
+
+(** Normalise a vector to cover every spine loop, with factors clamped to
+    divisors of the trip counts (the space the search explores; a
+    non-divisor factor would leave an epilogue that defeats scalar
+    replacement). The largest divisor no greater than the requested
+    factor comes from the env's precomputed divisor lists. *)
+let normalize_vector (env : env) (v : (string * int) list) :
+    (string * int) list =
+  List.map2
+    (fun (l : Ast.loop) (_, divs) ->
+      let u = max 1 (Option.value ~default:1 (List.assoc_opt l.index v)) in
+      let u = min u (Ast.loop_trip l) in
+      (* divisor lists are ascending; keep the largest one <= u *)
+      let d =
+        List.fold_left (fun best d -> if d <= u then d else best) 1 divs
+      in
+      (l.index, d))
+    env.spine env.spine_divisors
+
+type t = {
+  name : string;
+      (** stable identifier; part of the persistent store key, so two
+          backends never share cached points *)
+  bound : env -> Store.t -> (string * int) list -> Hls.Quick.t option;
+      (** admissible lower bounds for a point, or [None] when this
+          backend offers no tier-1 gate (then callers must synthesize) *)
+  synthesize : env -> Store.t -> (string * int) list -> Store.point;
+      (** full evaluation of one point, bypassing the point cache
+          (neither read nor written); bumps the store's counters *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Full behavioral synthesis *)
+
+let full_synthesize (env : env) (store : Store.t) (v : (string * int) list) :
+    Store.point =
+  let v = normalize_vector env v in
+  let opts = { env.pipeline with Transform.Pipeline.vector = v } in
+  let stats = store.Store.stats in
+  let t0 = Util.now () in
+  let r =
+    if not env.verify then Transform.Pipeline.apply opts env.source
+    else begin
+      (* Verified evaluation: same pipeline, instrumented per stage by
+         the translation validator. The transformed result is
+         bit-identical; error-severity findings only bump the violation
+         counter (the sweep itself is the paper's experiment — reporting
+         stays the job of the drivers). *)
+      let outcome = Check.Validate.run ~options:opts env.source in
+      stats.Store.checked_points <- stats.Store.checked_points + 1;
+      stats.Store.verify_violations <-
+        stats.Store.verify_violations
+        + List.length (Check.Validate.violations outcome);
+      match outcome.Check.Validate.result with
+      | Some r -> r
+      | None ->
+          (* The pipeline raised mid-stage; surface it like the
+             unverified path would. *)
+          failwith
+            (String.concat "; "
+               (List.map Check.Diag.render
+                  (Check.Validate.violations outcome)))
+    end
+  in
+  let t1 = Util.now () in
+  let timers = Hls.Estimate.fresh_timers () in
+  let estimate =
+    Hls.Estimate.estimate ~sched_memo:store.Store.sched_memo ~timers
+      env.profile r.Transform.Pipeline.kernel
+  in
+  let t2 = Util.now () in
+  stats.Store.evaluations <- stats.Store.evaluations + 1;
+  stats.Store.transform_seconds <- stats.Store.transform_seconds +. (t1 -. t0);
+  stats.Store.estimate_seconds <- stats.Store.estimate_seconds +. (t2 -. t1);
+  stats.Store.dfg_seconds <-
+    stats.Store.dfg_seconds +. timers.Hls.Estimate.dfg_seconds;
+  stats.Store.schedule_seconds <-
+    stats.Store.schedule_seconds +. timers.Hls.Estimate.schedule_seconds;
+  stats.Store.layout_seconds <-
+    stats.Store.layout_seconds +. timers.Hls.Estimate.layout_seconds;
+  stats.Store.sched_memo_hits <-
+    stats.Store.sched_memo_hits + timers.Hls.Estimate.sched_memo_hits;
+  {
+    Store.vector = v;
+    kernel = r.Transform.Pipeline.kernel;
+    estimate;
+    report = r.Transform.Pipeline.report;
+  }
+
+let no_bound _env _store _v = None
+
+let full : t = { name = "full"; bound = no_bound; synthesize = full_synthesize }
+
+(* ------------------------------------------------------------------ *)
+(* P&R degradation *)
+
+let lowlevel : t =
+  {
+    name = "lowlevel";
+    bound = no_bound;
+    synthesize =
+      (fun env store v ->
+        let p = full_synthesize env store v in
+        let impl =
+          Hls.Lowlevel.place_and_route
+            ~device:env.profile.Hls.Estimate.device p.Store.estimate
+        in
+        (* Fold the degradation into the stored estimate: post-route
+           area, achieved-clock wall time. Cycle counts never change
+           (Section 6.4), and balance is a behavioral property. *)
+        {
+          p with
+          Store.estimate =
+            {
+              p.Store.estimate with
+              Hls.Estimate.slices = impl.Hls.Lowlevel.actual_slices;
+              time_ns = impl.Hls.Lowlevel.time_ns;
+            };
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tiered composition *)
+
+let quick_bound (env : env) (store : Store.t) (v : (string * int) list) :
+    Hls.Quick.t option =
+  match Lazy.force env.quick_facts with
+  | None -> None
+  | Some facts ->
+      store.Store.stats.Store.quick_estimates <-
+        store.Store.stats.Store.quick_estimates + 1;
+      Some (Hls.Quick.bound facts ~vector:(normalize_vector env v))
+
+(** [quick_gate b] is [b] with the analytical pre-estimator as its
+    tier-1 bound: the two-tier engine as backend composition. *)
+let quick_gate (b : t) : t =
+  { b with name = "quick+" ^ b.name; bound = quick_bound }
+
+(** The default two-tier backend of the CLI, bench and tests. *)
+let default : t = quick_gate full
+
+let to_string (b : t) = b.name
+
+let of_string (s : string) : (t, string) result =
+  match String.lowercase_ascii (String.trim s) with
+  | "full" -> Ok full
+  | "quick+full" | "tiered" | "default" -> Ok default
+  | "lowlevel" -> Ok lowlevel
+  | "quick+lowlevel" -> Ok (quick_gate lowlevel)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown backend %S (have: full, quick+full, lowlevel, \
+            quick+lowlevel)"
+           other)
+
+let known_names = [ "full"; "quick+full"; "lowlevel"; "quick+lowlevel" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached evaluation *)
+
+(** Cached [Generate; Synthesize] through [store]: vectors are
+    normalized before the cache lookup, so any two spellings of the same
+    design share one synthesis run. *)
+let evaluate (env : env) (b : t) (store : Store.t) (v : (string * int) list) :
+    Store.point =
+  let key = normalize_vector env v in
+  match Store.find store key with
+  | Some p ->
+      store.Store.stats.Store.cache_hits <-
+        store.Store.stats.Store.cache_hits + 1;
+      p
+  | None ->
+      let p = b.synthesize env store key in
+      Store.add store key p;
+      p

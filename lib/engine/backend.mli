@@ -1,0 +1,76 @@
+(** Pluggable estimator backends — the fidelity levels at which a design
+    point can be evaluated, as first-class values, with the two-tier
+    gating expressed as backend composition ({!quick_gate}) instead of
+    inline logic in the search and the sweep. *)
+
+open Ir
+
+type env = {
+  source : Ast.kernel;  (** the input loop nest *)
+  profile : Hls.Estimate.profile;
+  capacity : int;  (** device slices *)
+  spine : Ast.loop list;
+  spine_divisors : (string * int list) list;
+      (** ascending divisors of each spine loop's trip count *)
+  pipeline : Transform.Pipeline.options;
+      (** base options (the vector is set per point) *)
+  quick_facts : Hls.Quick.facts option Lazy.t;
+      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
+  verify : bool;
+      (** translation-validate every uncached evaluation *)
+}
+
+val make_env :
+  ?pipeline:Transform.Pipeline.options ->
+  ?profile:Hls.Estimate.profile ->
+  ?verify:bool ->
+  ?capacity:int ->
+  Ast.kernel ->
+  env
+
+(** Cover every spine loop and clamp factors to divisors of the trip
+    counts — the space the search explores. *)
+val normalize_vector : env -> (string * int) list -> (string * int) list
+
+type t = {
+  name : string;
+      (** stable identifier; part of the persistent store key, so two
+          backends never share cached points *)
+  bound : env -> Store.t -> (string * int) list -> Hls.Quick.t option;
+      (** admissible lower bounds for a point, or [None] when this
+          backend offers no tier-1 gate *)
+  synthesize : env -> Store.t -> (string * int) list -> Store.point;
+      (** full evaluation of one point, bypassing the point cache
+          (neither read nor written); bumps the store's counters *)
+}
+
+(** The paper's [Generate; Synthesize]: transform pipeline, DFG, fused
+    tri-mode schedule, data layout. No tier-1 bound. *)
+val full : t
+
+(** {!full} composed with the P&R degradation model: the stored
+    estimate carries post-route area and achieved-clock time. Cycle
+    counts and balance are unchanged (Section 6.4). *)
+val lowlevel : t
+
+(** [quick_gate b] is [b] with the analytical pre-estimator
+    ({!Hls.Quick}) as its tier-1 bound — the two-tier engine as backend
+    composition. The bounds are admissible, so gating on them never
+    changes a selection, only the set of synthesized points. *)
+val quick_gate : t -> t
+
+(** [quick_gate full] — the default of the CLI, bench and tests. *)
+val default : t
+
+val to_string : t -> string
+
+(** Parse a backend name: [full], [quick+full] (aliases [tiered],
+    [default]), [lowlevel], [quick+lowlevel]. *)
+val of_string : string -> (t, string) result
+
+val known_names : string list
+
+(** Cached [Generate; Synthesize] through the store: vectors are
+    normalized before the cache lookup, so any two spellings of the
+    same design share one synthesis run. *)
+val evaluate : env -> t -> Store.t -> (string * int) list -> Store.point

@@ -1,0 +1,23 @@
+(** The layered evaluation engine — the one way design points get
+    evaluated anywhere in the system.
+
+    {v
+        Session   batched multi-kernel driver (run_many)
+           |
+        Backend   fidelity levels as values: full, lowlevel,
+           |      quick_gate composition (two-tier engine)
+         Store    point cache + tri-schedule memo + counters,
+           |      fork/absorb for domains, save/load via Persist
+          Hls     scheduling, estimation, P&R degradation
+    v}
+
+    [Dse] (the search and the sweep) sits on top and never calls the
+    estimator directly: every evaluation goes [Backend.evaluate] →
+    [Store] → synthesis on miss. *)
+
+module Util = Util
+module Store = Store
+module Backend = Backend
+module Persist = Persist
+module Pool = Pool
+include Session

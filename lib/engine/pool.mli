@@ -1,0 +1,29 @@
+(** A reusable worker-domain pool: spawn the domains once, run many
+    batches of thunks over them, join once at shutdown. The multi-kernel
+    session shares one pool across every parallel sweep it triggers. *)
+
+type t
+
+type task = unit -> unit
+
+(** Spawn a pool of [max 1 n] worker domains. *)
+val create : int -> t
+
+val size : t -> int
+
+(** Run a batch of thunks to completion on the pool's workers. Blocks
+    until every thunk has finished; if any thunk raised, re-raises the
+    first such exception (with its backtrace) after the batch drains.
+    Batches do not overlap — callers serialize. *)
+val run : t -> task list -> unit
+
+(** Join all worker domains. The pool cannot be used afterwards;
+    calling {!run} then raises [Invalid_argument]. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool n f] runs [f pool] and always shuts the pool down. *)
+val with_pool : int -> (t -> 'a) -> 'a
+
+(** One fewer than the recommended domain count, clamped to [1, 8] —
+    the sweep's historical default parallelism. *)
+val default_size : unit -> int

@@ -26,6 +26,14 @@ type profile = {
 let default_profile ?(pipelined = true) ?(chaining = false) () =
   { device = Device.default; mem = Memory_model.of_flag ~pipelined; chaining }
 
+(* Bump whenever the estimator's observable output can change — the
+   scheduler, the DFG builder, the data layout, the operator or memory
+   models, or this module's area/cycle accounting. Persistent evaluation
+   stores are keyed on it, so a stale bump silently serves wrong
+   estimates while a missed bump only costs a cold start: when in doubt,
+   bump. *)
+let version = "1"
+
 type t = {
   cycles : int;  (** total execution cycles of the whole nest *)
   mem_only_cycles : int;

@@ -21,6 +21,13 @@ type profile = {
 
 val default_profile : ?pipelined:bool -> ?chaining:bool -> unit -> profile
 
+(** Version tag of the estimator's observable behaviour, bumped whenever
+    the scheduler, DFG builder, data layout, operator/memory models or
+    the area/cycle accounting change what {!estimate} can return.
+    Persistent evaluation stores include it in their key hash so a cache
+    written by an older estimator is never read. *)
+val version : string
+
 type t = {
   cycles : int;  (** total execution cycles of the nest *)
   mem_only_cycles : int;
