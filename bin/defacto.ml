@@ -176,6 +176,15 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Rebuild every design point from scratch: disable the store's DFG \
+     arena, the region-level schedule snapshots and the delta transform \
+     cache. Results are field-for-field identical; this is the A/B \
+     escape hatch for timing the structure-sharing paths."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let explore_kernels_arg =
   let doc =
     "Built-in kernel name (fir, mm, pat, jac, sobel). Repeatable: several \
@@ -214,7 +223,8 @@ let load_tasks kernels file : Engine.task list =
       named @ from_file
 
 let explore kernels file non_pipelined memories capacity report prof verify
-    cache_dir cold backend_name jobs =
+    no_incremental cache_dir cold backend_name jobs =
+  let incremental = not no_incremental in
   let tasks = load_tasks kernels file in
   let profile = make_profile ~non_pipelined ~memories in
   let backend = backend_of_flag backend_name in
@@ -227,7 +237,9 @@ let explore kernels file non_pipelined memories capacity report prof verify
             prerr_endline "defacto: --report takes exactly one kernel";
             exit 1
       in
-      let ctx = Dse.Design.context ~profile ~verify ~capacity ~backend k in
+      let ctx =
+        Dse.Design.context ~profile ~verify ~incremental ~capacity ~backend k
+      in
       let r = Dse.Report.build ctx in
       let text = Dse.Report.to_string r in
       if dest = "-" then print_string text
@@ -241,8 +253,8 @@ let explore kernels file non_pipelined memories capacity report prof verify
       exit 0
   | None -> ());
   let summary =
-    Dse.Driver.run_many ?cache_dir ~cold ~profile ~verify ~capacity ~backend
-      ?jobs tasks
+    Dse.Driver.run_many ?cache_dir ~cold ~profile ~verify ~incremental
+      ~capacity ~backend ?jobs tasks
   in
   List.iter
     (fun (o : Dse.Driver.outcome) ->
@@ -298,7 +310,8 @@ let explore_cmd =
     Term.(
       const explore $ explore_kernels_arg $ file_arg $ pipelined_arg
       $ memories_arg $ capacity_arg $ report_arg $ profile_arg $ verify_arg
-      $ cache_dir_arg $ cold_arg $ backend_arg $ explore_jobs_arg)
+      $ no_incremental_arg $ cache_dir_arg $ cold_arg $ backend_arg
+      $ explore_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -361,7 +374,8 @@ let prune_arg =
   Arg.(value & flag & info [ "prune" ] ~doc)
 
 let space kernel file non_pipelined memories capacity max_product prune jobs
-    verify cache_dir cold backend_name =
+    verify no_incremental cache_dir cold backend_name =
+  let incremental = not no_incremental in
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
   let backend = backend_of_flag backend_name in
@@ -378,7 +392,10 @@ let space kernel file non_pipelined memories capacity max_product prune jobs
         (Engine.Persist.load_memo ~cache_dir:dir ~config
            store.Engine.Store.sched_memo)
   | _ -> ());
-  let ctx = Dse.Design.context ~profile ~verify ~capacity ~backend ~store k in
+  let ctx =
+    Dse.Design.context ~profile ~verify ~incremental ~capacity ~backend ~store
+      k
+  in
   let sp = Dse.Space.sweep ~max_product ~prune ?jobs ctx in
   (match cache_dir with
   | Some dir ->
@@ -417,7 +434,7 @@ let space_cmd =
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
       $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg $ verify_arg
-      $ cache_dir_arg $ cold_arg $ backend_arg)
+      $ no_incremental_arg $ cache_dir_arg $ cold_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache *)

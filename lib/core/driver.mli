@@ -39,6 +39,7 @@ val run_many :
   ?pipeline:Transform.Pipeline.options ->
   ?profile:Hls.Estimate.profile ->
   ?verify:bool ->
+  ?incremental:bool ->
   ?capacity:int ->
   ?backend:Engine.Backend.t ->
   ?pool:Engine.Pool.t ->

@@ -35,7 +35,10 @@
     directory and are renamed into place, so a crashed run cannot leave
     a half-written store behind. *)
 
-let schema_version = 1
+(* 2: the tri-schedule memo payload grew a second, region-level table
+   (prefix fingerprint -> scheduler snapshot); v1 memo files no longer
+   unmarshal into it. *)
+let schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Canonical configuration strings *)

@@ -18,7 +18,13 @@
     suppresses the write when the path is not taken. Register rotation is
     a free parallel register transfer. Subscript arithmetic is linearized
     into explicit address-computation nodes feeding the memory
-    operation. *)
+    operation.
+
+    Construction is {e append-only}: a node's content depends only on the
+    statements already consumed, never on later ones, so the graph of a
+    statement prefix of a block is literally an array prefix of the full
+    block's graph — the property the region-level schedule memo builds
+    on (see {!of_block_arena} and its statement marks). *)
 
 open Ir
 module Access = Analysis.Access
@@ -57,7 +63,9 @@ type node_kind =
 
 type node = { id : int; kind : node_kind; preds : int list }
 
-type t = { nodes : node array }
+type t = { nodes : node array; len : int; fp : string }
+
+let fingerprint (g : t) : string = g.fp
 
 (** Cursor over the kernel-wide access list (from [Access.collect] on the
     full body, in document order); the builder consumes accesses in the
@@ -86,47 +94,114 @@ let pop_access cur array kind =
               a.Access.array))
   | [] -> raise (Desync ("cursor exhausted at " ^ array))
 
-(* Environments are hash tables rather than assoc lists: large unrolled
-   blocks define thousands of scalars, and a [List.assoc_opt] +
-   [List.remove_assoc] per statement turns construction quadratic on
-   exactly the points the search probes. [defs] stays a mutable field so
-   the [If] merge can snapshot/restore it with [Hashtbl.copy] (branches
-   are rare; statements are not). *)
-type builder = {
-  k : Ast.kernel;
-  mem_of : Access.t -> int;
-  cur : cursor;
-  mutable nodes : node array;  (* first [count] slots live; doubled on demand *)
-  mutable count : int;
-  mutable defs : (string, int) Hashtbl.t;  (* scalar -> defining node *)
+let dummy_node = { id = -1; kind = Source (Const 0); preds = [] }
+
+(** Reusable construction scratch. One arena serves any number of
+    [of_block_arena] calls in sequence; the node storage, the scalar
+    environments and the per-kernel declaration tables persist across
+    blocks (and across design points, when the caller threads one arena
+    through a whole sweep), so steady-state construction allocates only
+    the nodes themselves.
+
+    The declaration tables matter as much as the storage: after scalar
+    replacement of a heavily unrolled body, [k_scalars] holds thousands
+    of compiler-introduced registers, and the [List.find_opt] behind
+    {!Ast.expr_type} turns every width query quadratic. The arena hashes
+    declarations once per kernel (refreshed on physical inequality). *)
+type arena = {
+  mutable buf : node array;  (* first [count] slots of the current block live *)
+  fp_buf : Buffer.t;  (* fingerprint of the current block, built as nodes land *)
+  defs0 : (string, int) Hashtbl.t;  (* scalar -> defining node *)
   inputs : (string, int) Hashtbl.t;  (* scalar -> shared Source node *)
   last_store : (string, int) Hashtbl.t;  (* array -> last store node *)
   loads_since : (string, int list) Hashtbl.t;  (* array -> loads after it *)
+  stypes : (string, Dtype.t) Hashtbl.t;  (* declared scalar element types *)
+  atypes : (string, Dtype.t * int list) Hashtbl.t;  (* array -> elem, dims *)
+  mutable typed_for : Ast.kernel option;  (* kernel the tables describe *)
+}
+
+let arena () =
+  {
+    buf = Array.make 256 dummy_node;
+    fp_buf = Buffer.create 1024;
+    defs0 = Hashtbl.create 64;
+    inputs = Hashtbl.create 32;
+    last_store = Hashtbl.create 8;
+    loads_since = Hashtbl.create 8;
+    stypes = Hashtbl.create 64;
+    atypes = Hashtbl.create 8;
+    typed_for = None;
+  }
+
+type builder = {
+  k : Ast.kernel;
+  a : arena;
+  mem_of : Access.t -> int;
+  cur : cursor;
+  mutable count : int;
+  mutable defs : (string, int) Hashtbl.t;
+      (* starts as [a.defs0]; the [If] merge snapshots/restores it with
+         [Hashtbl.copy] (branches are rare; statements are not) *)
   mutable guards : (int * bool) list;  (* active predication context *)
 }
 
-let dummy_node = { id = -1; kind = Source (Const 0); preds = [] }
+(** Append one node's canonical encoding (see {!fingerprint}'s contract
+    below) to the running fingerprint. *)
+let rec add_digits buf n =
+  if n >= 10 then add_digits buf (n / 10);
+  Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let encode_fp buf kind preds =
+  (* decimal digits written directly: [string_of_int] would allocate a
+     string per predecessor of every node of every block *)
+  let int n =
+    if n < 0 then begin
+      Buffer.add_char buf '-';
+      add_digits buf (-n)
+    end
+    else add_digits buf n;
+    Buffer.add_char buf ','
+  in
+  (match kind with
+  | Source _ -> Buffer.add_char buf 's'
+  | Op { cls; width; _ } ->
+      Buffer.add_char buf 'o';
+      Buffer.add_string buf (Op_model.class_name cls);
+      Buffer.add_char buf ':';
+      int width
+  | Load { mem; width; _ } ->
+      Buffer.add_char buf 'l';
+      int mem;
+      int width
+  | Store { mem; width; _ } ->
+      Buffer.add_char buf 't';
+      int mem;
+      int width
+  | Move _ -> Buffer.add_char buf 'm'
+  | Move_out _ -> Buffer.add_char buf 'x'
+  | Reg_write _ -> Buffer.add_char buf 'r');
+  List.iter int preds;
+  Buffer.add_char buf ';'
 
 let add b kind preds =
   let id = b.count in
-  if id = Array.length b.nodes then begin
-    let bigger = Array.make (max 16 (2 * id)) dummy_node in
-    Array.blit b.nodes 0 bigger 0 id;
-    b.nodes <- bigger
+  if id = Array.length b.a.buf then begin
+    let bigger = Array.make (2 * id) dummy_node in
+    Array.blit b.a.buf 0 bigger 0 id;
+    b.a.buf <- bigger
   end;
-  b.nodes.(id) <- { id; kind; preds };
+  b.a.buf.(id) <- { id; kind; preds };
   b.count <- id + 1;
+  encode_fp b.a.fp_buf kind preds;
   id
 
 let scalar_input b v =
-  match Hashtbl.find_opt b.inputs v with
+  match Hashtbl.find_opt b.a.inputs v with
   | Some id -> id
   | None ->
       let id = add b (Source (Scalar v)) [] in
-      Hashtbl.replace b.inputs v id;
+      Hashtbl.replace b.a.inputs v id;
       id
-
-let width_of b e = Dtype.bits (Ast.expr_type b.k e)
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -154,32 +229,72 @@ let classify_bin (op : Ast.binop) (a : Ast.expr) (c : Ast.expr) :
       | _ -> Op_model.Shift_var)
   | Ast.Min | Ast.Max -> Op_model.Min_max
 
+(** Fill the declaration tables for [k] unless they already describe it.
+    Physical equality is the right test: one kernel value flows through
+    all blocks of one estimation, and a rebuilt kernel is a new value. *)
+let retype a (k : Ast.kernel) =
+  match a.typed_for with
+  | Some k0 when k0 == k -> ()
+  | _ ->
+      Hashtbl.reset a.stypes;
+      Hashtbl.reset a.atypes;
+      List.iter
+        (fun (s : Ast.scalar_decl) -> Hashtbl.replace a.stypes s.s_name s.s_elem)
+        k.Ast.k_scalars;
+      List.iter
+        (fun (d : Ast.array_decl) ->
+          Hashtbl.replace a.atypes d.a_name (d.a_elem, d.a_dims))
+        k.Ast.k_arrays;
+      a.typed_for <- Some k
+
+let scalar_type b v =
+  match Hashtbl.find_opt b.a.stypes v with
+  | Some ty -> ty
+  | None -> Dtype.int32
+
 let array_info b name =
-  match Ast.find_array b.k name with
-  | Some d -> (Dtype.bits d.Ast.a_elem, d.Ast.a_dims)
+  match Hashtbl.find_opt b.a.atypes name with
+  | Some (elem, dims) -> (Dtype.bits elem, dims)
   | None -> (32, [ 0 ])
 
+let array_elem b name =
+  match Hashtbl.find_opt b.a.atypes name with
+  | Some (elem, _) -> elem
+  | None -> Dtype.int32
+
 let note_load b array id =
-  let cur = Option.value ~default:[] (Hashtbl.find_opt b.loads_since array) in
-  Hashtbl.replace b.loads_since array (id :: cur)
+  let cur =
+    Option.value ~default:[] (Hashtbl.find_opt b.a.loads_since array)
+  in
+  Hashtbl.replace b.a.loads_since array (id :: cur)
 
 let order_preds_for_load b array =
-  match Hashtbl.find_opt b.last_store array with Some s -> [ s ] | None -> []
+  match Hashtbl.find_opt b.a.last_store array with Some s -> [ s ] | None -> []
 
 let order_preds_for_store b array =
-  let loads = Option.value ~default:[] (Hashtbl.find_opt b.loads_since array) in
+  let loads =
+    Option.value ~default:[] (Hashtbl.find_opt b.a.loads_since array)
+  in
   let st =
-    match Hashtbl.find_opt b.last_store array with Some s -> [ s ] | None -> []
+    match Hashtbl.find_opt b.a.last_store array with
+    | Some s -> [ s ]
+    | None -> []
   in
   loads @ st
 
-let rec build_expr b (e : Ast.expr) : int =
+(* [build_expr] threads the expression's element type up alongside the
+   node id. The type is exactly {!Ast.expr_type} of the subtree (operand
+   join for intermediates), computed bottom-up in one pass instead of by
+   re-walking the subtree — and the declaration lookups behind the leaves
+   come from the arena's hash tables. *)
+let rec build_expr b (e : Ast.expr) : int * Dtype.t =
   match e with
-  | Ast.Int n -> add b (Source (Const n)) []
+  | Ast.Int n -> (add b (Source (Const n)) [], Dtype.int32)
   | Ast.Var v -> (
+      let ty = scalar_type b v in
       match Hashtbl.find_opt b.defs v with
-      | Some id -> id
-      | None -> scalar_input b v)
+      | Some id -> (id, ty)
+      | None -> (scalar_input b v, ty))
   | Ast.Arr (array, subs) ->
       let addr = build_address b array subs in
       let access = pop_access b.cur array Access.Read in
@@ -188,31 +303,34 @@ let rec build_expr b (e : Ast.expr) : int =
       let id =
         add b
           (Load { array; mem; width; addr })
-          ((addr :: order_preds_for_load b array))
+          (addr :: order_preds_for_load b array)
       in
       note_load b array id;
-      id
+      (id, array_elem b array)
   | Ast.Bin (op, x, y) ->
-      let nx = build_expr b x in
-      let ny = build_expr b y in
+      let nx, tx = build_expr b x in
+      let ny, ty = build_expr b y in
+      let t = Dtype.join tx ty in
       let cls = classify_bin op x y in
-      add b (Op { sem = Sbin op; cls; width = width_of b e }) [ nx; ny ]
+      (add b (Op { sem = Sbin op; cls; width = Dtype.bits t }) [ nx; ny ], t)
   | Ast.Un (op, x) ->
-      let nx = build_expr b x in
+      let nx, t = build_expr b x in
       let cls =
         match op with
         | Ast.Neg -> Op_model.Add
         | Ast.Not | Ast.Bnot -> Op_model.Logic
         | Ast.Abs -> Op_model.Abs_op
       in
-      add b (Op { sem = Sun op; cls; width = width_of b e }) [ nx ]
+      (add b (Op { sem = Sun op; cls; width = Dtype.bits t }) [ nx ], t)
   | Ast.Cond (c, t, el) ->
-      let nc = build_expr b c in
-      let nt = build_expr b t in
-      let ne = build_expr b el in
-      add b
-        (Op { sem = Smux; cls = Op_model.Mux; width = width_of b e })
-        [ nc; nt; ne ]
+      let nc, _ = build_expr b c in
+      let nt, tt = build_expr b t in
+      let ne, te = build_expr b el in
+      let ty = Dtype.join tt te in
+      ( add b
+          (Op { sem = Smux; cls = Op_model.Mux; width = Dtype.bits ty })
+          [ nc; nt; ne ],
+        ty )
 
 (** Row-major address computation, Horner style:
     [((s0 * d1 + s1) * d2 + s2) ...] — one constant multiply (usually a
@@ -221,7 +339,7 @@ let rec build_expr b (e : Ast.expr) : int =
     flat index. *)
 and build_address b array subs : int =
   let _, dims = array_info b array in
-  let sub_nodes = List.map (fun s -> (s, build_expr b s)) subs in
+  let sub_nodes = List.map (fun s -> (s, fst (build_expr b s))) subs in
   match (sub_nodes, dims) with
   | [ (_, n) ], _ -> n
   | [], _ -> add b (Source (Const 0)) []
@@ -255,11 +373,11 @@ and build_address b array subs : int =
 let rec build_stmt b (s : Ast.stmt) : unit =
   match s with
   | Ast.Assign (Ast.Lvar v, e) ->
-      let n = build_expr b e in
+      let n, _ = build_expr b e in
       let w = add b (Reg_write { scalar = v; value = n }) [ n ] in
       Hashtbl.replace b.defs v w
   | Ast.Assign (Ast.Larr (array, subs), e) ->
-      let n = build_expr b e in
+      let n, _ = build_expr b e in
       let addr = build_address b array subs in
       let access = pop_access b.cur array Access.Write in
       let width, _ = array_info b array in
@@ -267,12 +385,12 @@ let rec build_stmt b (s : Ast.stmt) : unit =
       let id =
         add b
           (Store { array; mem; width; addr; value = n; guards = b.guards })
-          ((n :: addr :: order_preds_for_store b array))
+          (n :: addr :: order_preds_for_store b array)
       in
-      Hashtbl.replace b.last_store array id;
-      Hashtbl.remove b.loads_since array
+      Hashtbl.replace b.a.last_store array id;
+      Hashtbl.remove b.a.loads_since array
   | Ast.If (c, t, el) ->
-      let nc = build_expr b c in
+      let nc, _ = build_expr b c in
       let before = b.defs in
       let outer_guards = b.guards in
       b.defs <- Hashtbl.copy before;
@@ -310,11 +428,7 @@ let rec build_stmt b (s : Ast.stmt) : unit =
             match Hashtbl.find_opt after_else v with Some id -> id | None -> old ()
           in
           if th <> el' then begin
-            let w =
-              match Ast.find_scalar b.k v with
-              | Some d -> Dtype.bits d.Ast.s_elem
-              | None -> 32
-            in
+            let w = Dtype.bits (scalar_type b v) in
             let m =
               add b
                 (Op { sem = Smux; cls = Op_model.Mux; width = w })
@@ -337,84 +451,92 @@ let rec build_stmt b (s : Ast.stmt) : unit =
         rs
   | Ast.For _ -> invalid_arg "Dfg.of_block: loops must be factored out"
 
+let builder_of arena ~kernel ~mem_of ~cursor =
+  retype arena kernel;
+  Hashtbl.reset arena.defs0;
+  Hashtbl.reset arena.inputs;
+  Hashtbl.reset arena.last_store;
+  Hashtbl.reset arena.loads_since;
+  Buffer.clear arena.fp_buf;
+  {
+    k = kernel;
+    a = arena;
+    mem_of;
+    cur = cursor;
+    count = 0;
+    defs = arena.defs0;
+    guards = [];
+  }
+
+(** Build into [arena] and return a {e view}: [nodes] aliases the arena's
+    storage (slots at and beyond [len] are garbage), valid until the next
+    build that uses the same arena. The second component marks the
+    top-level statement boundaries of the block: entry [i] is
+    [(node_count, fp_bytes)] after statements [0..i], so the graph of
+    that statement prefix is exactly nodes [0 .. node_count - 1] and its
+    fingerprint is exactly the first [fp_bytes] bytes of [fp] — the keys
+    under which the region-level schedule memo stores its snapshots. *)
+let of_block_arena ~(arena : arena) ~(kernel : Ast.kernel)
+    ~(mem_of : Access.t -> int) ~(cursor : cursor) (stmts : Ast.stmt list) :
+    t * (int * int) array =
+  let b = builder_of arena ~kernel ~mem_of ~cursor in
+  let marks =
+    List.map
+      (fun s ->
+        build_stmt b s;
+        (b.count, Buffer.length arena.fp_buf))
+      stmts
+  in
+  ( { nodes = arena.buf; len = b.count; fp = Buffer.contents arena.fp_buf },
+    Array.of_list marks )
+
 (** Build the DFG of a straight-line block. [cursor] advances past the
     block's accesses. The final scalar environment (scalar name -> node
     that holds its value at block exit) is returned alongside, for the
-    simulator's write-back. *)
+    simulator's write-back. The result owns its storage (safe to retain),
+    unlike {!of_block_arena}'s view. *)
 let of_block_with_defs ~(kernel : Ast.kernel) ~(mem_of : Access.t -> int)
     ~(cursor : cursor) (stmts : Ast.stmt list) : t * (string * int) list =
-  let b =
-    {
-      k = kernel;
-      mem_of;
-      cur = cursor;
-      nodes = Array.make 64 dummy_node;
-      count = 0;
-      defs = Hashtbl.create 32;
-      inputs = Hashtbl.create 32;
-      last_store = Hashtbl.create 8;
-      loads_since = Hashtbl.create 8;
-      guards = [];
-    }
-  in
+  let b = builder_of (arena ()) ~kernel ~mem_of ~cursor in
   List.iter (build_stmt b) stmts;
   let defs =
     Hashtbl.fold (fun v id acc -> (v, id) :: acc) b.defs []
     |> List.sort compare
   in
-  ({ nodes = Array.sub b.nodes 0 b.count }, defs)
+  ( {
+      nodes = Array.sub b.a.buf 0 b.count;
+      len = b.count;
+      fp = Buffer.contents b.a.fp_buf;
+    },
+    defs )
 
 let of_block ~kernel ~mem_of ~cursor stmts =
   fst (of_block_with_defs ~kernel ~mem_of ~cursor stmts)
 
-(** Canonical structural fingerprint: a compact, unambiguous encoding of
-    exactly the schedule-relevant projection of every node — the kind
-    tag, operator class and width for [Op], memory id and width for
-    [Load]/[Store], and the predecessor ids. Scalar and array names,
-    constant values, semantic operations and store guard polarities are
-    deliberately excluded (the {!Schedule} walker never reads them), so
-    copies of a block differing only by scalar renaming or by
-    iteration-shifted address constants collide, while two graphs with
-    the same fingerprint schedule identically under every profile. Every
-    integer field is comma-terminated and fields occupy fixed positions
-    after the kind tag, so the encoding is injective on the projection. *)
-let fingerprint (g : t) : string =
-  let buf = Buffer.create (64 + (8 * Array.length g.nodes)) in
-  let int n =
-    Buffer.add_string buf (string_of_int n);
-    Buffer.add_char buf ','
-  in
-  Array.iter
-    (fun n ->
-      (match n.kind with
-      | Source _ -> Buffer.add_char buf 's'
-      | Op { cls; width; _ } ->
-          Buffer.add_char buf 'o';
-          Buffer.add_string buf (Op_model.class_name cls);
-          Buffer.add_char buf ':';
-          int width
-      | Load { mem; width; _ } ->
-          Buffer.add_char buf 'l';
-          int mem;
-          int width
-      | Store { mem; width; _ } ->
-          Buffer.add_char buf 't';
-          int mem;
-          int width
-      | Move _ -> Buffer.add_char buf 'm'
-      | Move_out _ -> Buffer.add_char buf 'x'
-      | Reg_write _ -> Buffer.add_char buf 'r');
-      List.iter int n.preds;
-      Buffer.add_char buf ';')
-    g.nodes;
-  Buffer.contents buf
+(* The fingerprint contract (kept bit-compatible with the former
+   after-the-fact encoder, and realised incrementally by {!encode_fp}):
+   a compact, unambiguous encoding of exactly the schedule-relevant
+   projection of every node — the kind tag, operator class and width for
+   [Op], memory id and width for [Load]/[Store], and the predecessor
+   ids. Scalar and array names, constant values, semantic operations and
+   store guard polarities are deliberately excluded (the {!Schedule}
+   walker never reads them), so copies of a block differing only by
+   scalar renaming or by iteration-shifted address constants collide,
+   while two graphs with the same fingerprint schedule identically under
+   every profile. Every integer field is comma-terminated and fields
+   occupy fixed positions after the kind tag, so the encoding is
+   injective on the projection. *)
 
 let n_loads (g : t) =
-  Array.fold_left
-    (fun acc n -> match n.kind with Load _ -> acc + 1 | _ -> acc)
-    0 g.nodes
+  let acc = ref 0 in
+  for i = 0 to g.len - 1 do
+    match g.nodes.(i).kind with Load _ -> incr acc | _ -> ()
+  done;
+  !acc
 
 let n_stores (g : t) =
-  Array.fold_left
-    (fun acc n -> match n.kind with Store _ -> acc + 1 | _ -> acc)
-    0 g.nodes
+  let acc = ref 0 in
+  for i = 0 to g.len - 1 do
+    match g.nodes.(i).kind with Store _ -> incr acc | _ -> ()
+  done;
+  !acc

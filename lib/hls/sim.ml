@@ -125,9 +125,9 @@ let eval_un (op : Ast.unop) a =
 
 (** Execute one block instance under the current state. *)
 let exec_block st (graph : Dfg.t) (defs : (string * int) list) =
-  let n = Array.length graph.Dfg.nodes in
-  let values = Array.make n 0 in
-  Array.iter
+  let n = graph.Dfg.len in
+  let values = Array.make (max n 1) 0 in
+  for node_i = 0 to n - 1 do
     (fun (node : Dfg.node) ->
       let v =
         match node.Dfg.kind with
@@ -186,7 +186,8 @@ let exec_block st (graph : Dfg.t) (defs : (string * int) list) =
             Dtype.wrap (scalar_type st scalar) values.(value)
       in
       values.(node.Dfg.id) <- v)
-    graph.Dfg.nodes;
+      graph.Dfg.nodes.(node_i)
+  done;
   (* Commit scalar state at block exit. *)
   List.iter (fun (v, node) -> Hashtbl.replace st.scalars v values.(node)) defs
 

@@ -202,37 +202,63 @@ let rec fold_stmt ~stmt ~expr acc s =
 let fold_stmts ~stmt ~expr acc body =
   List.fold_left (fold_stmt ~stmt ~expr) acc body
 
-(** Bottom-up expression rewriting. *)
+(** [List.map] that returns the input list physically unchanged when [f]
+    maps every element to itself (physically). Rewrites over large
+    transformed bodies touch a small fraction of the tree; preserving
+    sharing keeps them (and the GC) linear in the *changed* part. *)
+let rec map_sharing f l =
+  match l with
+  | [] -> []
+  | x :: rest ->
+      let x' = f x in
+      let rest' = map_sharing f rest in
+      if x' == x && rest' == rest then l else x' :: rest'
+
+(** Bottom-up expression rewriting; shares unchanged subtrees. *)
 let rec map_expr f e =
-  let e =
+  let e' =
     match e with
     | Int _ | Var _ -> e
-    | Arr (a, subs) -> Arr (a, List.map (map_expr f) subs)
-    | Bin (op, a, b) -> Bin (op, map_expr f a, map_expr f b)
-    | Un (op, a) -> Un (op, map_expr f a)
-    | Cond (c, t, el) -> Cond (map_expr f c, map_expr f t, map_expr f el)
+    | Arr (a, subs) ->
+        let subs' = map_sharing (map_expr f) subs in
+        if subs' == subs then e else Arr (a, subs')
+    | Bin (op, a, b) ->
+        let a' = map_expr f a and b' = map_expr f b in
+        if a' == a && b' == b then e else Bin (op, a', b')
+    | Un (op, a) ->
+        let a' = map_expr f a in
+        if a' == a then e else Un (op, a')
+    | Cond (c, t, el) ->
+        let c' = map_expr f c and t' = map_expr f t and el' = map_expr f el in
+        if c' == c && t' == t && el' == el then e else Cond (c', t', el')
   in
-  f e
+  f e'
 
-(** Rewrite every expression (including lvalue subscripts) in a statement. *)
+(** Rewrite every expression (including lvalue subscripts) in a
+    statement; shares unchanged subtrees. *)
 let rec map_stmt_exprs f s =
   match s with
   | Assign (lv, e) ->
-      let lv =
+      let lv' =
         match lv with
         | Lvar _ -> lv
-        | Larr (a, subs) -> Larr (a, List.map (map_expr f) subs)
+        | Larr (a, subs) ->
+            let subs' = map_sharing (map_expr f) subs in
+            if subs' == subs then lv else Larr (a, subs')
       in
-      Assign (lv, map_expr f e)
+      let e' = map_expr f e in
+      if lv' == lv && e' == e then s else Assign (lv', e')
   | If (c, t, e) ->
-      If
-        ( map_expr f c,
-          List.map (map_stmt_exprs f) t,
-          List.map (map_stmt_exprs f) e )
-  | For l -> For { l with body = List.map (map_stmt_exprs f) l.body }
-  | Rotate rs -> Rotate rs
+      let c' = map_expr f c in
+      let t' = map_sharing (map_stmt_exprs f) t in
+      let e' = map_sharing (map_stmt_exprs f) e in
+      if c' == c && t' == t && e' == e then s else If (c', t', e')
+  | For l ->
+      let body' = map_sharing (map_stmt_exprs f) l.body in
+      if body' == l.body then s else For { l with body = body' }
+  | Rotate _ -> s
 
-let map_body_exprs f body = List.map (map_stmt_exprs f) body
+let map_body_exprs f body = map_sharing (map_stmt_exprs f) body
 
 (** Substitute expression [by] for every occurrence of variable [v]. *)
 let subst_var v by body =

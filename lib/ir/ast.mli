@@ -150,7 +150,13 @@ val fold_stmt :
 val fold_stmts :
   stmt:('a -> stmt -> 'a) -> expr:('a -> expr -> 'a) -> 'a -> stmt list -> 'a
 
-(** Bottom-up expression rewriting. *)
+(** [List.map] that returns the input list physically unchanged when the
+    function maps every element to itself (physically); the building
+    block of the sharing-preserving rewrites below. *)
+val map_sharing : ('a -> 'a) -> 'a list -> 'a list
+
+(** Bottom-up expression rewriting; returns physically equal subtrees
+    where the function changes nothing. *)
 val map_expr : (expr -> expr) -> expr -> expr
 
 (** Rewrite every expression (including lvalue subscripts) in a statement. *)

@@ -39,6 +39,10 @@ type t = {
   shapes : (string * int list) list;  (** array -> per-dimension factors *)
   vids : (int * int) list;  (** access id -> virtual id within its array *)
   phys : ((string * int) * int) list;  (** (array, vid) -> physical memory *)
+  vid_tbl : (int, int) Hashtbl.t;
+      (** [vids] as a table — {!memory_of} runs once per load/store node
+          of every DFG build, so the lookup must not scan the access list *)
+  mem_tbl : (string * int, int) Hashtbl.t;  (** [phys] as a table *)
 }
 
 let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
@@ -196,37 +200,45 @@ let assign ~num_memories (k : Ast.kernel) (accesses : Access.t list) : t =
   let banks =
     List.map (fun (ar, s) -> (ar, List.fold_left ( * ) 1 s)) shapes
   in
+  let vid_tbl = Hashtbl.create (List.length accesses) in
   let vids =
     List.map
       (fun (a : Access.t) ->
         let shape = List.assoc a.array shapes in
-        if List.length a.affine = List.length shape && Access.is_affine a then
-          (a.id, vid_of ~shape a)
-        else (a.id, 0))
+        let vid =
+          if List.length a.affine = List.length shape && Access.is_affine a
+          then vid_of ~shape a
+          else 0
+        in
+        Hashtbl.replace vid_tbl a.id vid;
+        (a.id, vid))
       accesses
   in
   (* Physical binding: distinct (array, vid) pairs in first-read order,
      then first-write order, round-robin over the memories. *)
   let phys = ref [] in
+  let mem_tbl = Hashtbl.create 16 in
   let next = ref 0 in
   let bind (a : Access.t) =
-    let vid = List.assoc a.id vids in
+    let vid = Hashtbl.find vid_tbl a.id in
     let key = (a.array, vid) in
-    if not (List.mem_assoc key !phys) then begin
-      phys := (key, !next mod num_memories) :: !phys;
+    if not (Hashtbl.mem mem_tbl key) then begin
+      let m = !next mod num_memories in
+      phys := (key, m) :: !phys;
+      Hashtbl.replace mem_tbl key m;
       incr next
     end
   in
   List.iter (fun a -> if Access.is_read a then bind a) accesses;
   List.iter (fun a -> if Access.is_write a then bind a) accesses;
-  { num_memories; banks; shapes; vids; phys = List.rev !phys }
+  { num_memories; banks; shapes; vids; phys = List.rev !phys; vid_tbl; mem_tbl }
 
 (** Physical memory of an access (by its id from the shared collection). *)
 let memory_of (t : t) (a : Access.t) : int =
-  match List.assoc_opt a.id t.vids with
+  match Hashtbl.find_opt t.vid_tbl a.id with
   | None -> 0
   | Some vid -> (
-      match List.assoc_opt (a.array, vid) t.phys with
+      match Hashtbl.find_opt t.mem_tbl (a.array, vid) with
       | Some m -> m
       | None -> 0)
 

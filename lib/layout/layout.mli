@@ -26,6 +26,9 @@ type t = {
   shapes : (string * int list) list;  (** array -> per-dimension factors *)
   vids : (int * int) list;  (** access id -> virtual id within its array *)
   phys : ((string * int) * int) list;  (** (array, vid) -> physical memory *)
+  vid_tbl : (int, int) Hashtbl.t;
+      (** [vids] as a table; {!memory_of} is on the DFG-build hot path *)
+  mem_tbl : (string * int, int) Hashtbl.t;  (** [phys] as a table *)
 }
 
 (** Per-dimension stride modulus of an access: gcd of

@@ -27,18 +27,26 @@ let arrays_written_in body =
     [] body
 
 (** Is [e] invariant in the loop and side-effect free? Indices of loops
-    nested inside also vary per iteration, so they count as variant. *)
+    nested inside also vary per iteration, so they count as variant.
+    Membership sets are hashed: the assigned-scalar list of a heavily
+    unrolled body is as long as the body itself, and this test runs per
+    expression node. *)
 let invariant ~variant ~assigned ~written e =
   let rec go e =
     match e with
     | Int _ -> true
-    | Var v -> (not (List.mem v variant)) && not (List.mem v assigned)
-    | Arr (a, subs) -> (not (List.mem a written)) && List.for_all go subs
+    | Var v -> (not (Hashtbl.mem variant v)) && not (Hashtbl.mem assigned v)
+    | Arr (a, subs) -> (not (Hashtbl.mem written a)) && List.for_all go subs
     | Bin (_, a, b) -> go a && go b
     | Un (_, a) -> go a
     | Cond (c, t, e) -> go c && go t && go e
   in
   go e
+
+let set_of_list l =
+  let t = Hashtbl.create (max 16 (List.length l)) in
+  List.iter (fun x -> Hashtbl.replace t x ()) l;
+  t
 
 (** Worth hoisting: anything costlier than a leaf or a leaf-plus-constant. *)
 let non_trivial e =
@@ -70,9 +78,9 @@ let run (k : kernel) : kernel =
         | Assign _ | Rotate _ -> [ s ])
       body
   and hoist_out (l : loop) : stmt list * loop =
-    let assigned = scalars_assigned_in l.body in
-    let written = arrays_written_in l.body in
-    let variant = l.index :: Ast.bound_indices l.body in
+    let assigned = set_of_list (scalars_assigned_in l.body) in
+    let written = set_of_list (arrays_written_in l.body) in
+    let variant = set_of_list (l.index :: Ast.bound_indices l.body) in
     let hoisted = ref [] in
     let rec rewrite e =
       if non_trivial e && invariant ~variant ~assigned ~written e then begin
@@ -86,24 +94,40 @@ let run (k : kernel) : kernel =
       else
         match e with
         | Int _ | Var _ -> e
-        | Arr (a, subs) -> Arr (a, List.map rewrite subs)
-        | Bin (op, a, b) -> Bin (op, rewrite a, rewrite b)
-        | Un (op, a) -> Un (op, rewrite a)
-        | Cond (c, t, e') -> Cond (rewrite c, rewrite t, rewrite e')
+        | Arr (a, subs) ->
+            let subs' = Ast.map_sharing rewrite subs in
+            if subs' == subs then e else Arr (a, subs')
+        | Bin (op, a, b) ->
+            let a' = rewrite a and b' = rewrite b in
+            if a' == a && b' == b then e else Bin (op, a', b')
+        | Un (op, a) ->
+            let a' = rewrite a in
+            if a' == a then e else Un (op, a')
+        | Cond (c, t, e') ->
+            let c' = rewrite c and t' = rewrite t and e'' = rewrite e' in
+            if c' == c && t' == t && e'' == e' then e else Cond (c', t', e'')
     in
     let rec rw_stmt s =
       match s with
-      | Assign (Lvar v, e) -> Assign (Lvar v, rewrite e)
+      | Assign (Lvar v, e) ->
+          let e' = rewrite e in
+          if e' == e then s else Assign (Lvar v, e')
       | Assign (Larr (a, subs), e) ->
-          Assign (Larr (a, List.map rewrite subs), rewrite e)
-      | If (c, t, e) -> If (rewrite c, List.map rw_stmt t, List.map rw_stmt e)
-      | For inner ->
+          let subs' = Ast.map_sharing rewrite subs in
+          let e' = rewrite e in
+          if subs' == subs && e' == e then s else Assign (Larr (a, subs'), e')
+      | If (c, t, e) ->
+          let c' = rewrite c in
+          let t' = Ast.map_sharing rw_stmt t in
+          let e' = Ast.map_sharing rw_stmt e in
+          if c' == c && t' == t && e' == e then s else If (c', t', e')
+      | For _ ->
           (* Inner loops were processed on the way up; expressions that
              could leave them already sit directly in this body. *)
-          For inner
-      | Rotate rs -> Rotate rs
+          s
+      | Rotate _ -> s
     in
-    let body = List.map rw_stmt l.body in
+    let body = Ast.map_sharing rw_stmt l.body in
     let pre = List.rev_map (fun (e, v) -> Assign (Lvar v, e)) !hoisted in
     (pre, { l with body })
   in

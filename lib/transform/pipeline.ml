@@ -29,6 +29,10 @@ type result = {
   kernel : Ast.kernel;
   report : Scalar_replace.report;
   options : options;
+  delta_reused : bool;
+      (** the unroll stage rebuilt only the innermost axis, reusing the
+          delta cache's outer-prefix body (always [false] without
+          [?delta]) *)
 }
 
 type stage = Tile | Unroll_jam | Scalar_replace | Peel | Licm | Simplify
@@ -56,7 +60,7 @@ let () =
              (stage_name stage) kernel message)
     | _ -> None)
 
-let apply ?observe (opts : options) (k : Ast.kernel) : result =
+let apply ?observe ?delta (opts : options) (k : Ast.kernel) : result =
   let kname = k.Ast.k_name in
   (* Run one stage: a [Failure]/[Invalid_argument] escaping a rewrite
      (e.g. a non-positive stride reaching [Ast.loop_trip] or a
@@ -80,7 +84,18 @@ let apply ?observe (opts : options) (k : Ast.kernel) : result =
         stage Tile (Tiling.tile_for_registers ~index ~tile) k
     | None -> k
   in
-  let k = stage Unroll_jam (Unroll.run opts.vector) k in
+  let delta_reused = ref false in
+  let k =
+    stage Unroll_jam
+      (fun k ->
+        match delta with
+        | Some cache ->
+            let k, reused = Unroll.run_delta ~cache opts.vector k in
+            if reused then delta_reused := true;
+            k
+        | None -> Unroll.run opts.vector k)
+      k
+  in
   let report = ref Scalar_replace.empty_report in
   let k =
     stage Scalar_replace
@@ -100,6 +115,12 @@ let apply ?observe (opts : options) (k : Ast.kernel) : result =
              the spine is still intact) to strip the chain refill guards;
              peeling replicates the innermost body, so bound it to small
              counts. *)
+          (* All peels are raw [peel_first] edits; one simplification
+             pass at the end folds every peeled copy at once — peeling
+             itself never needs the intermediate folds (it matches the
+             [For] node and the syntactic [index == lo] guards, both of
+             which survive unsimplified), and one pass over the final
+             body costs a fraction of one pass per peel. *)
           let k =
             if report.Scalar_replace.innermost_peels > 0
                && report.Scalar_replace.innermost_peels <= 4
@@ -109,7 +130,12 @@ let apply ?observe (opts : options) (k : Ast.kernel) : result =
                 else
                   match List.rev (Loop_nest.spine k.Ast.k_body) with
                   | [] -> k
-                  | inner :: _ -> peel_n (n - 1) (Peel.run ~index:inner.index k)
+                  | inner :: _ ->
+                      peel_n (n - 1)
+                        { k with
+                          Ast.k_body =
+                            Peel.peel_first ~index:inner.Ast.index k.Ast.k_body
+                        }
               in
               peel_n report.Scalar_replace.innermost_peels k
             end
@@ -118,7 +144,8 @@ let apply ?observe (opts : options) (k : Ast.kernel) : result =
           (* Then peel the first iteration of every bank carrier. *)
           let k =
             List.fold_left
-              (fun k index -> Peel.run ~index k)
+              (fun k index ->
+                { k with Ast.k_body = Peel.peel_first ~index k.Ast.k_body })
               k report.Scalar_replace.carriers
           in
           Simplify.fold_ranges k)
@@ -126,4 +153,4 @@ let apply ?observe (opts : options) (k : Ast.kernel) : result =
   in
   let k = if opts.licm then stage Licm Licm.run k else k in
   let k = stage Simplify Simplify.run k in
-  { kernel = k; report; options = opts }
+  { kernel = k; report; options = opts; delta_reused = !delta_reused }

@@ -93,15 +93,23 @@ let rec replace_write a subs r body =
     body
 
 (** Insert [pre] at the start and [post] at the end of the body of the
-    spine loop named [index]. *)
+    spine loop named [index]. Shares unchanged subtrees, so an edit that
+    leaves the target body physically unchanged (e.g. a scan) returns
+    the input body itself. *)
 let rec edit_loop_body ~index f body =
-  List.map
+  Ast.map_sharing
     (fun s ->
       match s with
-      | For l when l.index = index -> For { l with body = f l.body }
-      | For l -> For { l with body = edit_loop_body ~index f l.body }
+      | For l when l.index = index ->
+          let b' = f l.body in
+          if b' == l.body then s else For { l with body = b' }
+      | For l ->
+          let b' = edit_loop_body ~index f l.body in
+          if b' == l.body then s else For { l with body = b' }
       | If (c, t, e) ->
-          If (c, edit_loop_body ~index f t, edit_loop_body ~index f e)
+          let t' = edit_loop_body ~index f t
+          and e' = edit_loop_body ~index f e in
+          if t' == t && e' == e then s else If (c, t', e')
       | Assign _ | Rotate _ -> s)
     body
 
@@ -163,12 +171,16 @@ let patterns_of (k : kernel) : pattern list =
             | None -> Dtype.int32
           in
           let distinct =
+            let seen = Hashtbl.create 16 in
             List.rev
               (List.fold_left
                  (fun acc (a : Access.t) ->
-                   if List.exists (fun (b : Access.t) -> b.subs = a.subs && b.kind = a.kind) acc
-                   then acc
-                   else a :: acc)
+                   let key = (a.subs, a.kind) in
+                   if Hashtbl.mem seen key then acc
+                   else begin
+                     Hashtbl.replace seen key ();
+                     a :: acc
+                   end)
                  [] members)
           in
           let varying =
@@ -304,8 +316,7 @@ let try_hoist (k : kernel) (st : state) (p : pattern) (others : pattern list) =
 (* ------------------------------------------------------------------ *)
 (* Case 2: register banks across an outer carrier loop *)
 
-let try_bank (k : kernel) (st : state) (p : pattern) =
-  let written = Licm.arrays_written_in k.k_body in
+let try_bank ~written (st : state) (p : pattern) =
   let spine = p.spine in
   (* Outermost spine loop the pattern is invariant to, with varying loops
      strictly inside it. *)
@@ -433,8 +444,207 @@ let chain_distance (inner : loop) (a : Access.t) (b : Access.t) : int option =
       go loops entries None
   | _ -> None
 
-let try_chains ~(config : config) (st : state) (p : pattern) =
-  let written = Licm.arrays_written_in st.kernel.k_body in
+(* Floor division (exact linearity in the divisor direction:
+   [fdiv (x + d*g) g = fdiv x g + d] for any integers, which makes the
+   residue below a canonical class key). *)
+let fdiv x y =
+  let q = x / y and r = x mod y in
+  if r <> 0 && r < 0 <> (y < 0) then q - 1 else q
+
+(** Cheap chain-class key of a member: the canonical residue of its
+    subscript constants modulo the inner-loop shift vector [g]
+    (per-dimension coefficient of the inner index times its step), plus
+    the member's position [idx] along [g]. Two members of one uniformly
+    generated pattern admit a consistent inner-loop distance exactly
+    when their residues agree (the distance is then the [idx]
+    difference) — the dependence-system view of {!chain_distance}
+    restricted to shifts along the inner direction. [None] when the
+    member does not vary with the inner loop (no chain possible). *)
+let chain_key (inner : loop) (a : Access.t) : (int list * int) option =
+  if not (Access.is_affine a) then None
+  else begin
+    let affs = Access.affine_exn a in
+    let g = List.map (fun f -> Affine.coeff f inner.index * inner.step) affs in
+    let c = List.map Affine.const_part affs in
+    let rec first_nz gs cs =
+      match (gs, cs) with
+      | gk :: _, ck :: _ when gk <> 0 -> Some (gk, ck)
+      | _ :: gs, _ :: cs -> first_nz gs cs
+      | _ -> None
+    in
+    match first_nz g c with
+    | None -> None
+    | Some (gk0, ck0) ->
+        let idx = fdiv ck0 gk0 in
+        Some (List.map2 (fun ck gk -> ck - (idx * gk)) c g, idx)
+  end
+
+(** Partition a pattern's members into chain classes, each member paired
+    with its distance to the class's first member. The fast path buckets
+    by {!chain_key} in linear time and verifies every multi-member class
+    against the dependence solver (one {!chain_distance} call per
+    chained member — coupled subscripts like FIR's [S[i+j]] fail the
+    check); on any disagreement the original pairwise solver scan runs
+    instead, so the result is the one the quadratic algorithm computes,
+    always. *)
+let partition_chains (inner : loop) (members : Access.t list) :
+    (Access.t * int) list list =
+  let slow () =
+    let classes : (Access.t * Access.t list) list ref = ref [] in
+    List.iter
+      (fun (a : Access.t) ->
+        let rec insert = function
+          | [] -> [ (a, [ a ]) ]
+          | (m, cls) :: rest -> (
+              match chain_distance inner m a with
+              | Some _ -> (m, a :: cls) :: rest
+              | None -> (m, cls) :: insert rest)
+        in
+        classes := insert !classes)
+      members;
+    List.map
+      (fun (_, cls) ->
+        match List.rev cls with
+        | [] -> []
+        | first :: _ as cls ->
+            List.map
+              (fun a ->
+                (a, Option.value ~default:0 (chain_distance inner first a)))
+              cls)
+      !classes
+  in
+  let trip = Ast.loop_trip inner in
+  let keyed = List.map (fun a -> (a, chain_key inner a)) members in
+  if List.exists (fun (_, k) -> k = None) keyed then
+    (* No inner variation (or a non-affine member): no pair admits a
+       distance, every member is its own class. *)
+    List.map (fun (a, _) -> [ (a, 0) ]) keyed
+  else begin
+    (* Insertion scan as in [slow], with the O(1) key test standing in
+       for the solver: same residue, and the distance realizable within
+       the trip count (the solver's own admissibility cut). *)
+    let classes : (int list * int * (Access.t * int) list) list ref = ref [] in
+    List.iter
+      (fun (a, key) ->
+        let residue, idx = Option.get key in
+        let rec insert = function
+          | [] -> [ (residue, idx, [ (a, 0) ]) ]
+          | (res, ridx, cls) :: rest ->
+              if res = residue && abs (ridx - idx) < trip then
+                (res, ridx, (a, ridx - idx) :: cls) :: rest
+              else (res, ridx, cls) :: insert rest
+        in
+        classes := insert !classes)
+      keyed;
+    let classes = List.map (fun (_, _, cls) -> List.rev cls) !classes in
+    let verified =
+      List.for_all
+        (fun cls ->
+          match cls with
+          | [] | [ _ ] -> true
+          | (first, _) :: rest ->
+              List.for_all
+                (fun (a, d) -> chain_distance inner first a = Some d)
+                rest)
+        classes
+    in
+    if verified then classes else slow ()
+  end
+
+(** Batched tree edits of the chains phase: replacements and inserts
+    accumulated across all patterns, applied in one walk each. *)
+type chain_edits = {
+  repl : (string * expr list, string * string) Hashtbl.t;
+      (** (array, subscripts) -> (target inner-loop index, register) *)
+  mutable inserts : (string * stmt list * stmt list) list;
+      (** (inner-loop index, pre, post) in reverse application order *)
+}
+
+let apply_chain_edits (st : state) (ed : chain_edits) =
+  if Hashtbl.length ed.repl = 0 then ()
+  else begin
+    (* Replace member reads under every loop named by their class's
+       inner index — what per-class [edit_loop_body]+[replace_read]
+       did, composed. Inserted loads are untouched exactly as in the
+       sequential order (each class replaced before inserting, and no
+       two classes share a member's (array, subscripts)). *)
+    let rec rw_expr stack e =
+      match e with
+      | Arr (a, subs) -> (
+          let subs' = Ast.map_sharing (rw_expr stack) subs in
+          match Hashtbl.find_opt ed.repl (a, subs') with
+          | Some (idx, r) when List.mem idx stack -> Var r
+          | _ -> if subs' == subs then e else Arr (a, subs'))
+      | Int _ | Var _ -> e
+      | Bin (op, a, b) ->
+          let a' = rw_expr stack a and b' = rw_expr stack b in
+          if a' == a && b' == b then e else Bin (op, a', b')
+      | Un (op, a) ->
+          let a' = rw_expr stack a in
+          if a' == a then e else Un (op, a')
+      | Cond (c, t, e') ->
+          let c' = rw_expr stack c
+          and t' = rw_expr stack t
+          and e'' = rw_expr stack e' in
+          if c' == c && t' == t && e'' == e' then e else Cond (c', t', e'')
+    in
+    let rec rw_stmt stack s =
+      match s with
+      | Assign (lv, e) ->
+          let lv' =
+            match lv with
+            | Lvar _ -> lv
+            | Larr (a, subs) ->
+                let subs' = Ast.map_sharing (rw_expr stack) subs in
+                if subs' == subs then lv else Larr (a, subs')
+          in
+          let e' = rw_expr stack e in
+          if lv' == lv && e' == e then s else Assign (lv', e')
+      | If (c, t, e) ->
+          let c' = rw_expr stack c in
+          let t' = Ast.map_sharing (rw_stmt stack) t in
+          let e' = Ast.map_sharing (rw_stmt stack) e in
+          if c' == c && t' == t && e' == e then s else If (c', t', e')
+      | For l ->
+          let body' = Ast.map_sharing (rw_stmt (l.index :: stack)) l.body in
+          if body' == l.body then s else For { l with body = body' }
+      | Rotate _ -> s
+    in
+    let body = Ast.map_sharing (rw_stmt []) st.kernel.k_body in
+    (* Stack the per-class inserts: applying classes one at a time
+       prepends each later class's loads above the earlier ones and
+       appends its rotate below, per target loop. *)
+    let ins_tbl : (string, stmt list * stmt list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (idx, pre, post) ->
+        (* [ed.inserts] is in reverse application order, so the first
+           entry seen here is the last class applied: its [pre] goes
+           outermost (first) and its [post] last. *)
+        let cur_pre, cur_post =
+          Option.value ~default:([], []) (Hashtbl.find_opt ins_tbl idx)
+        in
+        Hashtbl.replace ins_tbl idx (cur_pre @ pre, post @ cur_post))
+      ed.inserts;
+    let rec ins_stmt s =
+      match s with
+      | For l -> (
+          let body' = Ast.map_sharing ins_stmt l.body in
+          match Hashtbl.find_opt ins_tbl l.index with
+          | Some (pre, post) -> For { l with body = pre @ body' @ post }
+          | None -> if body' == l.body then s else For { l with body = body' })
+      | If (c, t, e) ->
+          let t' = Ast.map_sharing ins_stmt t in
+          let e' = Ast.map_sharing ins_stmt e in
+          if t' == t && e' == e then s else If (c, t', e')
+      | Assign _ | Rotate _ -> s
+    in
+    st.kernel <- { st.kernel with k_body = Ast.map_sharing ins_stmt body }
+  end
+
+let try_chains ~(config : config) ~written (st : state) (ed : chain_edits)
+    (p : pattern) =
   let innermost_varying =
     match List.rev p.varying with [] -> None | l :: _ -> Some l
   in
@@ -448,38 +658,18 @@ let try_chains ~(config : config) (st : state) (p : pattern) =
          && p.has_reads && (not p.has_writes)
          && (not (List.mem p.array written))
          && not p.any_guarded ->
-      (* Partition members into chain classes by consistent distance.
-         Each class carries its representative (the first member) next
-         to a reverse-accumulated member list, so insertion is O(1);
-         document order is restored once, after partitioning. *)
-      let classes : (Access.t * Access.t list) list ref = ref [] in
-      List.iter
-        (fun (a : Access.t) ->
-          let rec insert = function
-            | [] -> [ (a, [ a ]) ]
-            | (m, cls) :: rest -> (
-                match chain_distance inner m a with
-                | Some _ -> (m, a :: cls) :: rest
-                | None -> (m, cls) :: insert rest)
-          in
-          classes := insert !classes)
-        p.members;
-      let classes = List.map (fun (_, cls) -> List.rev cls) !classes in
+      let classes = partition_chains inner p.members in
       List.iter
         (fun cls ->
           match cls with
           | [] | [ _ ] -> () (* single member: CSE handles duplicates *)
-          | first :: _ ->
+          | _ ->
               (* Distance d of member m relative to the first member: m
                  touches the first member's element d iterations later.
                  The member with minimal d reads the *newest* data each
                  iteration and leads the chain; a member at delay k reads
                  what the lead read k iterations ago. *)
-              let with_d =
-                List.map
-                  (fun a -> (Option.value ~default:0 (chain_distance inner first a), a))
-                  cls
-              in
+              let with_d = List.map (fun (a, d) -> (d, a)) cls in
               let with_d = List.sort (fun (x, _) (y, _) -> compare x y) with_d in
               let dmin = fst (List.hd with_d) in
               let dmax = fst (List.nth with_d (List.length with_d - 1)) in
@@ -517,23 +707,15 @@ let try_chains ~(config : config) (st : state) (p : pattern) =
                                [] )))
                     with_d
                 in
-                (* Replace uses. *)
-                let body = st.kernel.k_body in
-                let body =
-                  List.fold_left
-                    (fun body (d, (a : Access.t)) ->
-                      let delay = d - dmin in
-                      edit_loop_body ~index:inner.index
-                        (fun b -> replace_read p.array a.subs (reg (span - delay)) b)
-                        body)
-                    body with_d
-                in
-                let body =
-                  insert_in_loop ~index:inner.index
-                    ~pre:((lead_load :: refills))
-                    ~post:[ Rotate regs ] body
-                in
-                st.kernel <- { st.kernel with k_body = body };
+                List.iter
+                  (fun (d, (a : Access.t)) ->
+                    let delay = d - dmin in
+                    Hashtbl.replace ed.repl (p.array, a.Access.subs)
+                      (inner.index, reg (span - delay)))
+                  with_d;
+                ed.inserts <-
+                  (inner.index, lead_load :: refills, [ Rotate regs ])
+                  :: ed.inserts;
                 st.report <-
                   {
                     st.report with
@@ -724,16 +906,30 @@ let run ?(config = default_config) (k : kernel) : kernel * report =
       budget = config.max_registers;
     }
   in
+  (* Each phase wants the pattern facts of the current kernel; a phase
+     that made no edits leaves [st.kernel] physically unchanged, so the
+     previous phase's patterns (and the access walk behind them) are
+     still exact and can be reused. *)
+  let cached : (kernel * pattern list) option ref = ref None in
+  let patterns () =
+    match !cached with
+    | Some (k, ps) when k == st.kernel -> ps
+    | _ ->
+        let ps = patterns_of st.kernel in
+        cached := Some (st.kernel, ps);
+        ps
+  in
   (* Hoist/sink first: it removes accumulator traffic and its aliasing
      checks see the original access set. *)
-  let ps = patterns_of st.kernel in
+  let ps = patterns () in
   List.iter
     (fun p ->
       let others = List.filter (fun q -> q != p && q.array = p.array) ps in
       try_hoist k st p others)
     ps;
   if config.across_loops then begin
-    let ps = patterns_of st.kernel in
+    let ps = patterns () in
+    let written = Licm.arrays_written_in st.kernel.k_body in
     (* Smallest banks first, to fit more of them in the budget. *)
     let with_est =
       List.map
@@ -749,12 +945,15 @@ let run ?(config = default_config) (k : kernel) : kernel * report =
         ps
     in
     List.iter
-      (fun (_, p) -> try_bank st.kernel st p)
+      (fun (_, p) -> try_bank ~written st p)
       (List.sort (fun (a, _) (b, _) -> compare a b) with_est)
   end;
   if config.chains then begin
-    let ps = patterns_of st.kernel in
-    List.iter (fun p -> try_chains ~config st p) ps
+    let ps = patterns () in
+    let written = Licm.arrays_written_in st.kernel.k_body in
+    let ed = { repl = Hashtbl.create 64; inserts = [] } in
+    List.iter (fun p -> try_chains ~config ~written st ed p) ps;
+    apply_chain_edits st ed
   end;
   cse_loads st;
-  (Simplify.run st.kernel, st.report)
+  (st.kernel, st.report)

@@ -11,24 +11,28 @@ open Ast
 let rec fold_expr (e : expr) : expr =
   match e with
   | Int _ | Var _ -> e
-  | Arr (a, subs) -> Arr (a, List.map fold_expr subs)
+  | Arr (a, subs) ->
+      let subs' = Ast.map_sharing fold_expr subs in
+      if subs' == subs then e else Arr (a, subs')
   | Un (op, a) -> (
-      let a = fold_expr a in
-      match (op, a) with
+      let a' = fold_expr a in
+      match (op, a') with
       | Neg, Int n -> Int (-n)
       | Not, Int n -> Int (if n = 0 then 1 else 0)
       | Bnot, Int n -> Int (lnot n)
       | Abs, Int n -> Int (abs n)
       | Neg, Un (Neg, x) -> x
-      | _ -> Un (op, a))
+      | _ -> if a' == a then e else Un (op, a'))
   | Cond (c, t, el) -> (
-      let c = fold_expr c in
-      match c with
+      let c' = fold_expr c in
+      match c' with
       | Int 0 -> fold_expr el
       | Int _ -> fold_expr t
-      | _ -> Cond (c, fold_expr t, fold_expr el))
-  | Bin (op, a, b) -> (
-      let a = fold_expr a and b = fold_expr b in
+      | _ ->
+          let t' = fold_expr t and el' = fold_expr el in
+          if c' == c && t' == t && el' == el then e else Cond (c', t', el'))
+  | Bin (op, a0, b0) -> (
+      let a = fold_expr a0 and b = fold_expr b0 in
       match (op, a, b) with
       | Add, Int x, Int y -> Int (x + y)
       | Sub, Int x, Int y -> Int (x - y)
@@ -64,30 +68,149 @@ let rec fold_expr (e : expr) : expr =
       | Add, Bin (Sub, x, Int c1), Int c2 -> fold_expr (Bin (Add, x, Int (c2 - c1)))
       | Sub, Bin (Add, x, Int c1), Int c2 -> fold_expr (Bin (Add, x, Int (c1 - c2)))
       | Sub, Bin (Sub, x, Int c1), Int c2 -> fold_expr (Bin (Sub, x, Int (c1 + c2)))
-      | _ -> Bin (op, a, b))
+      | _ -> if a == a0 && b == b0 then e else Bin (op, a, b))
 
 (** Normalise an expression through its affine form when possible — the
-    canonical shape later passes compare syntactically. *)
+    canonical shape later passes compare syntactically. Returns the
+    input physically unchanged when it is already in canonical form. *)
 let canon_expr e =
-  let e = fold_expr e in
-  match Affine.of_expr e with Some f -> Affine.to_expr f | None -> e
+  let e' = fold_expr e in
+  match Affine.of_expr e' with
+  | None -> e'
+  | Some f ->
+      let c = Affine.to_expr f in
+      if c = e then e else c
+
+(* [fold_expr] restricted to the root: operands are assumed already
+   folded, so only the node's own arms apply. Re-association arms
+   recurse on the node they rebuild (depth bounded by the constant
+   chain), never into operands. *)
+let rec fold1 (e : expr) : expr =
+  match e with
+  | Int _ | Var _ | Arr _ -> e
+  | Un (op, a) -> (
+      match (op, a) with
+      | Neg, Int n -> Int (-n)
+      | Not, Int n -> Int (if n = 0 then 1 else 0)
+      | Bnot, Int n -> Int (lnot n)
+      | Abs, Int n -> Int (abs n)
+      | Neg, Un (Neg, x) -> x
+      | _ -> e)
+  | Cond (c, t, el) -> ( match c with Int 0 -> el | Int _ -> t | _ -> e)
+  | Bin (op, a, b) -> (
+      match (op, a, b) with
+      | Add, Int x, Int y -> Int (x + y)
+      | Sub, Int x, Int y -> Int (x - y)
+      | Mul, Int x, Int y -> Int (x * y)
+      | Div, Int x, Int y when y <> 0 -> Int (x / y)
+      | Mod, Int x, Int y when y <> 0 -> Int (x mod y)
+      | Lt, Int x, Int y -> Int (if x < y then 1 else 0)
+      | Le, Int x, Int y -> Int (if x <= y then 1 else 0)
+      | Gt, Int x, Int y -> Int (if x > y then 1 else 0)
+      | Ge, Int x, Int y -> Int (if x >= y then 1 else 0)
+      | Eq, Int x, Int y -> Int (if x = y then 1 else 0)
+      | Ne, Int x, Int y -> Int (if x <> y then 1 else 0)
+      | And, Int x, Int y -> Int (if x <> 0 && y <> 0 then 1 else 0)
+      | Or, Int x, Int y -> Int (if x <> 0 || y <> 0 then 1 else 0)
+      | Band, Int x, Int y -> Int (x land y)
+      | Bor, Int x, Int y -> Int (x lor y)
+      | Bxor, Int x, Int y -> Int (x lxor y)
+      | Shl, Int x, Int y when y >= 0 -> Int (x lsl y)
+      | Shr, Int x, Int y when y >= 0 -> Int (x asr y)
+      | Min, Int x, Int y -> Int (min x y)
+      | Max, Int x, Int y -> Int (max x y)
+      | Add, x, Int 0 | Add, Int 0, x -> x
+      | Sub, x, Int 0 -> x
+      | Mul, _, Int 0 | Mul, Int 0, _ -> Int 0
+      | Mul, x, Int 1 | Mul, Int 1, x -> x
+      | Div, x, Int 1 -> x
+      | And, x, Int n when n <> 0 -> x
+      | And, Int n, x when n <> 0 -> x
+      | And, _, Int 0 | And, Int 0, _ -> Int 0
+      | Or, x, Int 0 | Or, Int 0, x -> x
+      | Add, Bin (Add, x, Int c1), Int c2 -> fold1 (Bin (Add, x, Int (c1 + c2)))
+      | Add, Bin (Sub, x, Int c1), Int c2 -> fold1 (Bin (Add, x, Int (c2 - c1)))
+      | Sub, Bin (Add, x, Int c1), Int c2 -> fold1 (Bin (Add, x, Int (c1 - c2)))
+      | Sub, Bin (Sub, x, Int c1), Int c2 -> fold1 (Bin (Sub, x, Int (c1 + c2)))
+      | _ -> e)
+
+(** [map_expr canon_expr] applies {!canon_expr} at every node, and each
+    application re-walks its whole subtree ([fold_expr] and
+    [Affine.of_expr] both recurse) — quadratic on the long accumulation
+    chains unrolling builds. [canon_rec] computes the same result in one
+    bottom-up pass: operands are canonicalized exactly once, folding at
+    a node assumes folded operands ({!fold1}), and the affine attempt is
+    skipped outright when an operand is already known non-affine. The
+    boolean tracks "may be affine" — exactly the shapes
+    [Affine.of_expr] accepts — so it never skips a node the original
+    would have normalised. *)
+let rec canon_rec (e0 : expr) : expr * bool =
+  let e, cap =
+    match e0 with
+    | Int _ | Var _ -> (e0, true)
+    | Arr (a, subs) ->
+        let subs' = Ast.map_sharing (fun s -> fst (canon_rec s)) subs in
+        ((if subs' == subs then e0 else Arr (a, subs')), false)
+    | Un (op, a) ->
+        let a', ca = canon_rec a in
+        ((if a' == a then e0 else Un (op, a')), op = Neg && ca)
+    | Bin (op, a, b) ->
+        let a', ca = canon_rec a and b', cb = canon_rec b in
+        ( (if a' == a && b' == b then e0 else Bin (op, a', b')),
+          (match op with Add | Sub | Mul | Div -> ca && cb | _ -> false) )
+    | Cond (c, t, el) ->
+        let c', _ = canon_rec c
+        and t', _ = canon_rec t
+        and el', _ = canon_rec el in
+        ( (if c' == c && t' == t && el' == el then e0
+           else Cond (c', t', el')),
+          false )
+  in
+  let e' = fold1 e in
+  if e' == e then
+    if not cap then (e, false)
+    else
+      match Affine.of_expr e with
+      | None -> (e, false)
+      | Some f ->
+          let c = Affine.to_expr f in
+          ((if c = e then e else c), true)
+  else begin
+    (* An arm fired: the result is a constant, an already-canonical
+       operand, or a small rebuilt node — finish it the way [canon_expr]
+       would, with walks bounded by that result. *)
+    let r = fold_expr e' in
+    match Affine.of_expr r with
+    | None -> (r, false)
+    | Some f ->
+        let c = Affine.to_expr f in
+        ((if c = e then e else c), true)
+  end
+
+let canon_deep e = fst (canon_rec e)
 
 let rec simpl_stmt (s : stmt) : stmt list =
   match s with
   | Assign (lv, e) ->
-      let lv =
+      let lv' =
         match lv with
         | Lvar _ -> lv
-        | Larr (a, subs) -> Larr (a, List.map canon_expr subs)
+        | Larr (a, subs) ->
+            let subs' = Ast.map_sharing canon_expr subs in
+            if subs' == subs then lv else Larr (a, subs')
       in
-      [ Assign (lv, map_expr canon_expr e) ]
+      let e' = canon_deep e in
+      if lv' == lv && e' == e then [ s ] else [ Assign (lv', e') ]
   | If (c, t, el) -> (
-      let c = map_expr canon_expr c in
-      let t = simpl_body t and el = simpl_body el in
-      match c with
-      | Int 0 -> el
-      | Int _ -> t
-      | _ -> if t = [] && el = [] then [] else [ If (c, t, el) ])
+      let c' = canon_deep c in
+      let t' = simpl_body t and el' = simpl_body el in
+      match c' with
+      | Int 0 -> el'
+      | Int _ -> t'
+      | _ ->
+          if t' = [] && el' = [] then []
+          else if c' == c && t' == t && el' == el then [ s ]
+          else [ If (c', t', el') ])
   | For l ->
       let trip = Ast.loop_trip l in
       if trip = 0 then []
@@ -95,10 +218,20 @@ let rec simpl_stmt (s : stmt) : stmt list =
         (* Single-iteration loops are inlined so that analyses see their
            body's subscripts as constants in the index. *)
         simpl_body (Ast.subst_var l.index (Int l.lo) l.body)
-      else [ For { l with body = simpl_body l.body } ]
-  | Rotate rs -> [ Rotate rs ]
+      else
+        let body' = simpl_body l.body in
+        if body' == l.body then [ s ] else [ For { l with body = body' } ]
+  | Rotate _ -> [ s ]
 
-and simpl_body body = List.concat_map simpl_stmt body
+and simpl_body body =
+  match body with
+  | [] -> []
+  | s :: rest -> (
+      let ss = simpl_stmt s in
+      let rest' = simpl_body rest in
+      match ss with
+      | [ s' ] when s' == s && rest' == rest -> body
+      | _ -> ss @ rest')
 
 let run (k : Ast.kernel) : Ast.kernel = { k with k_body = simpl_body k.k_body }
 
@@ -149,21 +282,37 @@ let fold_ranges (k : Ast.kernel) : Ast.kernel =
     | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), Int c, Var v) -> (
         match decide env v (flip op) c with Some r -> Int r | None -> e)
     | Int _ | Var _ -> e
-    | Arr (a, subs) -> Arr (a, List.map (fold_e env) subs)
-    | Bin (op, a, b) -> Bin (op, fold_e env a, fold_e env b)
-    | Un (op, a) -> Un (op, fold_e env a)
-    | Cond (c, t, e') -> Cond (fold_e env c, fold_e env t, fold_e env e')
+    | Arr (a, subs) ->
+        let subs' = Ast.map_sharing (fold_e env) subs in
+        if subs' == subs then e else Arr (a, subs')
+    | Bin (op, a, b) ->
+        let a' = fold_e env a and b' = fold_e env b in
+        if a' == a && b' == b then e else Bin (op, a', b')
+    | Un (op, a) ->
+        let a' = fold_e env a in
+        if a' == a then e else Un (op, a')
+    | Cond (c, t, e') ->
+        let c' = fold_e env c and t' = fold_e env t and e'' = fold_e env e' in
+        if c' == c && t' == t && e'' == e' then e else Cond (c', t', e'')
   in
   let rec fold_s env s =
     match s with
-    | Assign (Lvar v, e) -> Assign (Lvar v, fold_e env e)
+    | Assign (Lvar v, e) ->
+        let e' = fold_e env e in
+        if e' == e then s else Assign (Lvar v, e')
     | Assign (Larr (a, subs), e) ->
-        Assign (Larr (a, List.map (fold_e env) subs), fold_e env e)
+        let subs' = Ast.map_sharing (fold_e env) subs in
+        let e' = fold_e env e in
+        if subs' == subs && e' == e then s else Assign (Larr (a, subs'), e')
     | If (c, t, e) ->
-        If (fold_e env c, List.map (fold_s env) t, List.map (fold_s env) e)
+        let c' = fold_e env c in
+        let t' = Ast.map_sharing (fold_s env) t in
+        let e' = Ast.map_sharing (fold_s env) e in
+        if c' == c && t' == t && e' == e then s else If (c', t', e')
     | For l ->
         let env' = (l.index, (l.lo, l.hi)) :: env in
-        For { l with body = List.map (fold_s env') l.body }
-    | Rotate rs -> Rotate rs
+        let body' = Ast.map_sharing (fold_s env') l.body in
+        if body' == l.body then s else For { l with body = body' }
+    | Rotate _ -> s
   in
-  run { k with k_body = List.map (fold_s []) k.k_body }
+  run { k with k_body = Ast.map_sharing (fold_s []) k.k_body }

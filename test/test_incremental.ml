@@ -1,0 +1,116 @@
+(** The incremental evaluation paths must be invisible in the results:
+    a context with the structure-sharing machinery on (DFG arena,
+    region-level schedule snapshots, delta transform cache — the
+    default) and one with it off ([--no-incremental]) must produce
+    field-for-field identical design points for the same evaluation
+    sequence. Sequences matter: the delta cache and the region snapshots
+    only engage when consecutive points share structure, so each check
+    drives both contexts through the same multi-point walk. *)
+
+open Ir
+module Design = Dse.Design
+module Space = Dse.Space
+
+let points_identical (a : Design.point) (b : Design.point) =
+  Design.vector_equal a.Design.vector b.Design.vector
+  && compare a.Design.estimate b.Design.estimate = 0
+  && a.Design.kernel = b.Design.kernel
+  && a.Design.report = b.Design.report
+
+(* ------------------------------------------------------------------ *)
+(* Random kernels, random evaluation sequences *)
+
+let prop_incremental_exact_random =
+  Helpers.qtest "incremental = from-scratch (random kernels)" ~count:60
+    QCheck2.Gen.(
+      Helpers.gen_kernel >>= fun k ->
+      list_size (int_range 2 6) (Helpers.gen_vector_for k) >>= fun vs ->
+      return (k, vs))
+    (fun (k, vectors) ->
+      let profile = Hls.Estimate.default_profile () in
+      let inc = Design.context ~profile ~incremental:true k in
+      let scratch = Design.context ~profile ~incremental:false k in
+      List.for_all
+        (fun v ->
+          points_identical (Design.evaluate inc v) (Design.evaluate scratch v))
+        vectors)
+
+(* ------------------------------------------------------------------ *)
+(* Paper kernels, full divisor lattices *)
+
+let test_incremental_exact_lattice () =
+  List.iter
+    (fun name ->
+      let k = Option.get (Kernels.find name) in
+      let profile = Hls.Estimate.default_profile () in
+      let inc = Design.context ~profile ~incremental:true k in
+      let scratch = Design.context ~profile ~incremental:false k in
+      let sp_inc = Space.sweep ~max_product:16 ~jobs:1 inc in
+      let sp_scr = Space.sweep ~max_product:16 ~jobs:1 scratch in
+      Alcotest.(check int)
+        (name ^ ": same lattice")
+        (List.length sp_scr.Space.points)
+        (List.length sp_inc.Space.points);
+      List.iter2
+        (fun (a : Space.sweep_point) (b : Space.sweep_point) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s" name
+               (Helpers.vector_to_string a.Space.vector))
+            true
+            (points_identical a.Space.point b.Space.point))
+        sp_inc.Space.points sp_scr.Space.points;
+      (* The sharing machinery must actually have been exercised — a
+         regression that silently disables it would leave the equality
+         trivially true. The deeper nests feed both caches even at this
+         small product bound. *)
+      if List.mem name [ "jac"; "sobel" ] then begin
+        Alcotest.(check bool)
+          (name ^ ": region snapshots restored")
+          true
+          (inc.Design.stats.Design.region_memo_hits > 0);
+        Alcotest.(check bool)
+          (name ^ ": delta transforms reused")
+          true
+          (inc.Design.stats.Design.delta_reuses > 0)
+      end;
+      Alcotest.(check int)
+        (name ^ ": scratch context restored no snapshots")
+        0 scratch.Design.stats.Design.region_memo_hits;
+      Alcotest.(check int)
+        (name ^ ": scratch context reused no deltas")
+        0 scratch.Design.stats.Design.delta_reuses)
+    Kernels.names
+
+(* ------------------------------------------------------------------ *)
+(* The simulated datapath is identical through the incremental paths *)
+
+let test_sim_unchanged () =
+  let k = Option.get (Kernels.find "jac") in
+  let profile = Hls.Estimate.default_profile () in
+  let inc = Design.context ~profile ~incremental:true k in
+  let inputs = Kernels.test_inputs ~seed:11 k in
+  let reference = Eval.observables (Eval.run ~inputs k) in
+  List.iter
+    (fun vector ->
+      let pt = Design.evaluate inc vector in
+      let sim = Hls.Sim.run ~inputs profile pt.Design.kernel in
+      List.iter
+        (fun (arr, data) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jac %s %s" (Helpers.vector_to_string vector) arr)
+            true
+            (List.assoc_opt arr sim.Hls.Sim.arrays = Some data))
+        reference)
+    [ []; [ ("i", 2) ]; [ ("i", 2); ("j", 2) ]; [ ("i", 4); ("j", 4) ] ]
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "exactness",
+        [
+          prop_incremental_exact_random;
+          Alcotest.test_case "full divisor lattices" `Quick
+            test_incremental_exact_lattice;
+          Alcotest.test_case "datapath unchanged" `Quick test_sim_unchanged;
+        ] );
+    ]
