@@ -440,6 +440,13 @@ let dse_json () =
               string_of_int c_verified.Design.stats.Design.checked_points );
             ( "verify_violations",
               string_of_int c_verified.Design.stats.Design.verify_violations );
+            ( "flow_builds_verified",
+              string_of_int c_verified.Design.stats.Design.flow_builds );
+            ( "flow_solves_verified",
+              string_of_int c_verified.Design.stats.Design.flow_solves );
+            ( "flow_seconds_verified",
+              Printf.sprintf "%.6f" c_verified.Design.stats.Design.flow_seconds
+            );
             ( "verified_selection_unchanged",
               if
                 Design.vector_equal best_full.Space.vector

@@ -508,14 +508,28 @@ let format_arg =
 let no_validate_arg =
   let doc =
     "Skip the (more expensive) per-stage pipeline translation validation; \
-     run only the structural, bounds and legality passes."
+     run only the structural, bounds, dataflow and legality passes."
   in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
+let fail_on_arg =
+  let doc =
+    "Severity that makes the exit code 2: $(b,error) (the default — \
+     warnings exit 1 as usual) or $(b,warning) (warnings exit 2 too, for \
+     CI jobs that want to be strict)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("error", Check.Diag.Error); ("warning", Check.Diag.Warning) ])
+        Check.Diag.Error
+    & info [ "fail-on" ] ~docv:"SEV" ~doc)
+
 (* Exit-code discipline (asserted by the integration tests and relied on
    by CI): 0 when clean (at most informational findings), 1 when the
-   worst finding is a warning, 2 on any error. *)
-let check kernel file unroll format no_validate =
+   worst finding is a warning, 2 on any error. [--fail-on=warning]
+   promotes warnings to exit 2. *)
+let check kernel file unroll format no_validate fail_on =
   (* A kernel that does not even load (front-end rejection) is an error
      by the same discipline. *)
   let k =
@@ -536,19 +550,24 @@ let check kernel file unroll format no_validate =
   let ds = Check.Run.all ~config k in
   (match format with
   | `Human -> print_string (Check.Run.render_human ?file ~kernel:k.Ir.Ast.k_name ds)
-  | `Json -> print_endline (Check.Run.render_json ?file ~kernel:k.Ir.Ast.k_name ds));
-  exit (Check.Run.exit_code ds)
+  | `Json ->
+      print_endline
+        (Check.Run.render_json ?file ~fail_on
+           ~passes:(Check.Run.pass_names config) ~kernel:k.Ir.Ast.k_name ds));
+  exit (Check.Run.exit_code ~fail_on ds)
 
 let check_cmd =
   let doc =
     "Statically check a kernel: structural well-formedness, affine bounds, \
+     flow-graph dataflow facts (uninitialized reads, dead stores), \
      transform legality, and per-stage translation validation of the \
-     pipeline. Exits 0 when clean, 1 on warnings, 2 on errors."
+     pipeline. Exits 0 when clean, 1 on warnings, 2 on errors (see \
+     $(b,--fail-on))."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check $ kernel_arg $ file_arg $ unroll_arg $ format_arg
-      $ no_validate_arg)
+      $ no_validate_arg $ fail_on_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vhdl *)

@@ -1,0 +1,7 @@
+int A[8];
+int B[8];
+int t;
+for (i = 0; i < 8; i++) {
+  t = A[i] + 1;
+  B[i] = A[i] * 2;
+}

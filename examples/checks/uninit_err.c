@@ -1,0 +1,4 @@
+int A[8];
+int s;
+for (i = 0; i < 8; i++)
+  A[i] = s + i;

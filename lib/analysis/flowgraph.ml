@@ -1,0 +1,589 @@
+(** See flowgraph.mli. *)
+
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting *)
+
+type cost = {
+  mutable builds : int;
+  mutable solves : int;
+  mutable steps : int;
+  mutable build_seconds : float;
+  mutable solve_seconds : float;
+}
+
+let fresh_cost () =
+  { builds = 0; solves = 0; steps = 0; build_seconds = 0.0; solve_seconds = 0.0 }
+
+let cost_add ~(into : cost) (c : cost) =
+  into.builds <- into.builds + c.builds;
+  into.solves <- into.solves + c.solves;
+  into.steps <- into.steps + c.steps;
+  into.build_seconds <- into.build_seconds +. c.build_seconds;
+  into.solve_seconds <- into.solve_seconds +. c.solve_seconds
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* The graph *)
+
+type kind =
+  | Entry
+  | Exit
+  | Assign of Ast.lvalue * Ast.expr
+  | Rotate of string list
+  | Branch of Ast.expr
+  | Header of Ast.loop
+
+type node = {
+  id : int;
+  kind : kind;
+  loops : Ast.loop list;
+  guarded : bool;
+  span : Ast.span option;
+}
+
+type t = {
+  kernel : Ast.kernel;
+  nodes : node array;
+  succ : int list array;
+  pred : int list array;
+  entry : int;
+  exit_ : int;
+  reachable : bool array;
+}
+
+let build ?cost (k : Ast.kernel) : t =
+  let t0 = now () in
+  let nodes = ref [] and count = ref 0 in
+  let edges = ref [] in
+  let add_node kind ~loops ~guarded ~span =
+    let id = !count in
+    incr count;
+    nodes := { id; kind; loops; guarded; span } :: !nodes;
+    id
+  in
+  let connect froms dst = List.iter (fun f -> edges := (f, dst) :: !edges) froms in
+  (* The frontier is the set of node ids whose (fall-through) successor
+     is the next statement. An empty frontier builds unreachable nodes:
+     they get ids and spans but no incoming edges. *)
+  let rec go_stmts ~loops ~guarded ~span frontier stmts =
+    List.fold_left (fun fr s -> go_stmt ~loops ~guarded ~span fr s) frontier stmts
+  and go_stmt ~loops ~guarded ~span frontier (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (lv, e) ->
+        let id = add_node (Assign (lv, e)) ~loops ~guarded ~span in
+        connect frontier id;
+        [ id ]
+    | Ast.Rotate rs ->
+        let id = add_node (Rotate rs) ~loops ~guarded ~span in
+        connect frontier id;
+        [ id ]
+    | Ast.If (c, then_, else_) ->
+        let b = add_node (Branch c) ~loops ~guarded ~span in
+        connect frontier b;
+        let ft = go_stmts ~loops ~guarded:true ~span [ b ] then_ in
+        let fe = go_stmts ~loops ~guarded:true ~span [ b ] else_ in
+        List.sort_uniq compare (ft @ fe)
+    | Ast.For l ->
+        let span = match l.Ast.l_span with Some _ as s -> s | None -> span in
+        let h = add_node (Header l) ~loops:(loops @ [ l ]) ~guarded ~span in
+        connect frontier h;
+        let loops' = loops @ [ l ] in
+        let trip =
+          if l.Ast.step <= 0 then None (* ill-formed: be conservative *)
+          else Some (Ast.loop_trip l)
+        in
+        (match trip with
+        | Some 0 ->
+            (* Body provably never runs: keep its nodes, connect nothing. *)
+            ignore (go_stmts ~loops:loops' ~guarded ~span [] l.Ast.body);
+            [ h ]
+        | Some _ ->
+            (* At least one iteration: the continuation is only reachable
+               through the body's tail. *)
+            let tail = go_stmts ~loops:loops' ~guarded ~span [ h ] l.Ast.body in
+            connect tail h;
+            tail
+        | None ->
+            let tail = go_stmts ~loops:loops' ~guarded ~span [ h ] l.Ast.body in
+            connect tail h;
+            List.sort_uniq compare (h :: tail))
+  in
+  let entry = add_node Entry ~loops:[] ~guarded:false ~span:None in
+  let final = go_stmts ~loops:[] ~guarded:false ~span:None [ entry ] k.Ast.k_body in
+  let exit_ = add_node Exit ~loops:[] ~guarded:false ~span:None in
+  connect final exit_;
+  let n = !count in
+  let node_arr = Array.make n { id = 0; kind = Entry; loops = []; guarded = false; span = None } in
+  List.iter (fun nd -> node_arr.(nd.id) <- nd) !nodes;
+  let succ = Array.make n [] and pred = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem b succ.(a)) then begin
+        succ.(a) <- b :: succ.(a);
+        pred.(b) <- a :: pred.(b)
+      end)
+    !edges;
+  Array.iteri (fun i l -> succ.(i) <- List.sort compare l) succ;
+  Array.iteri (fun i l -> pred.(i) <- List.sort compare l) pred;
+  let reachable = Array.make n false in
+  let rec dfs i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter dfs succ.(i)
+    end
+  in
+  dfs entry;
+  (match cost with
+  | Some c ->
+      c.builds <- c.builds + 1;
+      c.build_seconds <- c.build_seconds +. (now () -. t0)
+  | None -> ());
+  { kernel = k; nodes = node_arr; succ; pred; entry; exit_; reachable }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract locations *)
+
+type loc = Scalar of string | Cell of string * Affine.t list | Whole of string
+
+let compare_loc (a : loc) (b : loc) = compare a b
+let equal_loc a b = compare_loc a b = 0
+
+let pp_loc fmt = function
+  | Scalar s -> Format.pp_print_string fmt s
+  | Cell (a, fs) ->
+      Format.fprintf fmt "%s%s" a
+        (String.concat ""
+           (List.map (fun f -> "[" ^ Affine.to_string f ^ "]") fs))
+  | Whole a -> Format.fprintf fmt "%s[*]" a
+
+module LocSet = Set.Make (struct
+  type t = loc
+
+  let compare = compare_loc
+end)
+
+let may_alias (a : loc) (b : loc) =
+  match (a, b) with
+  | Scalar x, Scalar y -> String.equal x y
+  | Scalar _, (Cell _ | Whole _) | (Cell _ | Whole _), Scalar _ -> false
+  | (Cell (x, _) | Whole x), Whole y | Whole x, Cell (y, _) ->
+      String.equal x y
+  | Cell (x, fs), Cell (y, gs) ->
+      String.equal x y
+      && (List.length fs <> List.length gs
+         || not
+              (List.exists2
+                 (fun f g ->
+                   (* provably distinct cells across *all* iterations:
+                      both subscripts constant and different *)
+                   Affine.is_const f && Affine.is_const g
+                   && Affine.const_part f <> Affine.const_part g)
+                 fs gs))
+
+(* The cell key of an access, valid at a node whose enclosing loop
+   indices are [indices]: affine in every dimension and mentioning only
+   those indices; otherwise the whole array. *)
+let loc_of_access indices (a : string) (subs : Ast.expr list) : loc =
+  let forms = List.map Affine.of_expr subs in
+  if
+    List.for_all
+      (function
+        | Some f -> List.for_all (fun v -> List.mem v indices) (Affine.vars f)
+        | None -> false)
+      forms
+  then Cell (a, List.map Option.get forms)
+  else Whole a
+
+let index_names loops = List.map (fun (l : Ast.loop) -> l.Ast.index) loops
+
+let rec expr_locs indices acc (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> acc
+  | Ast.Var v -> Scalar v :: acc
+  | Ast.Arr (a, subs) ->
+      let acc = List.fold_left (expr_locs indices) acc subs in
+      loc_of_access indices a subs :: acc
+  | Ast.Bin (_, x, y) -> expr_locs indices (expr_locs indices acc x) y
+  | Ast.Un (_, x) -> expr_locs indices acc x
+  | Ast.Cond (c, x, y) ->
+      expr_locs indices (expr_locs indices (expr_locs indices acc c) x) y
+
+let uses (g : t) (i : int) : loc list =
+  let nd = g.nodes.(i) in
+  let indices = index_names nd.loops in
+  match nd.kind with
+  | Entry | Exit | Header _ -> []
+  | Branch c -> List.rev (expr_locs indices [] c)
+  | Rotate rs -> List.map (fun r -> Scalar r) rs
+  | Assign (lv, e) ->
+      let acc = expr_locs indices [] e in
+      let acc =
+        match lv with
+        | Ast.Lvar _ -> acc
+        | Ast.Larr (_, subs) ->
+            (* writing a cell reads its subscripts, not the cell *)
+            List.fold_left (expr_locs indices) acc subs
+      in
+      List.rev acc
+
+let defs_at (g : t) (i : int) : loc list =
+  let nd = g.nodes.(i) in
+  let indices = index_names nd.loops in
+  match nd.kind with
+  | Entry | Exit | Branch _ -> []
+  | Header l -> [ Scalar l.Ast.index ]
+  | Rotate rs -> List.map (fun r -> Scalar r) rs
+  | Assign (Ast.Lvar s, _) -> [ Scalar s ]
+  | Assign (Ast.Larr (a, subs), _) -> [ loc_of_access indices a subs ]
+
+(* ------------------------------------------------------------------ *)
+(* The monotone framework *)
+
+type direction = Forward | Backward
+
+type 'f spec = {
+  dir : direction;
+  boundary : 'f;
+  init : 'f;
+  join : 'f -> 'f -> 'f;
+  equal : 'f -> 'f -> bool;
+  transfer : node -> 'f -> 'f;
+}
+
+type 'f solution = { before : 'f array; after : 'f array }
+
+let solve ?cost (g : t) (spec : 'f spec) : 'f solution =
+  let t0 = now () in
+  let n = Array.length g.nodes in
+  let before = Array.make n spec.init and after = Array.make n spec.init in
+  let inq = Array.make n false in
+  let q = Queue.create () in
+  let push i =
+    if not inq.(i) then begin
+      inq.(i) <- true;
+      Queue.push i q
+    end
+  in
+  (match spec.dir with
+  | Forward -> for i = 0 to n - 1 do push i done
+  | Backward -> for i = n - 1 downto 0 do push i done);
+  let steps = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    inq.(i) <- false;
+    incr steps;
+    match spec.dir with
+    | Forward ->
+        let inf =
+          let base = if i = g.entry then spec.boundary else spec.init in
+          List.fold_left (fun acc p -> spec.join acc after.(p)) base g.pred.(i)
+        in
+        before.(i) <- inf;
+        let out = spec.transfer g.nodes.(i) inf in
+        if not (spec.equal out after.(i)) then begin
+          after.(i) <- out;
+          List.iter push g.succ.(i)
+        end
+    | Backward ->
+        let outf =
+          let base = if i = g.exit_ then spec.boundary else spec.init in
+          List.fold_left (fun acc s -> spec.join acc before.(s)) base g.succ.(i)
+        in
+        after.(i) <- outf;
+        let inf = spec.transfer g.nodes.(i) outf in
+        if not (spec.equal inf before.(i)) then begin
+          before.(i) <- inf;
+          List.iter push g.pred.(i)
+        end
+  done;
+  (match cost with
+  | Some c ->
+      c.solves <- c.solves + 1;
+      c.steps <- c.steps + !steps;
+      c.solve_seconds <- c.solve_seconds +. (now () -. t0)
+  | None -> ());
+  { before; after }
+
+(* Shared helpers for the location-set analyses. *)
+
+let is_const_cell = function
+  | Cell (_, fs) -> List.for_all Affine.is_const fs
+  | Scalar _ | Whole _ -> false
+
+(* A write to [d] provably overwrites location [l] (on any execution
+   reaching the program point, regardless of iteration): scalars by
+   name, cells only when both sides are the same all-constant cell. *)
+let strongly_overwrites (d : loc) (l : loc) =
+  match d with
+  | Scalar _ -> equal_loc d l
+  | Cell _ -> is_const_cell d && equal_loc d l
+  | Whole _ -> false
+
+let mentions_index (idx : string) = function
+  | Scalar _ | Whole _ -> false
+  | Cell (_, fs) -> List.exists (fun f -> List.mem idx (Affine.vars f)) fs
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions *)
+
+type def = { d_id : int; d_node : int; d_loc : loc }
+
+let def_sites (g : t) : def array =
+  let acc = ref [] and next = ref 0 in
+  Array.iter
+    (fun nd ->
+      List.iter
+        (fun l ->
+          acc := { d_id = !next; d_node = nd.id; d_loc = l } :: !acc;
+          incr next)
+        (defs_at g nd.id))
+    g.nodes;
+  Array.of_list (List.rev !acc)
+
+module IntSet = Set.Make (Int)
+
+type reaching = { r_defs : def array; r_sol : IntSet.t solution }
+
+let reaching ?cost (g : t) : reaching =
+  let defs = def_sites g in
+  let n = Array.length g.nodes in
+  let gen = Array.make n IntSet.empty in
+  Array.iter (fun d -> gen.(d.d_node) <- IntSet.add d.d_id gen.(d.d_node)) defs;
+  (* kill at a node: every site whose location the node's writes
+     strongly overwrite *)
+  let kill = Array.make n IntSet.empty in
+  Array.iteri
+    (fun i _ ->
+      let writes = defs_at g i in
+      if writes <> [] then
+        kill.(i) <-
+          Array.fold_left
+            (fun acc (d : def) ->
+              if List.exists (fun w -> strongly_overwrites w d.d_loc) writes
+              then IntSet.add d.d_id acc
+              else acc)
+            IntSet.empty defs)
+    g.nodes;
+  let spec =
+    {
+      dir = Forward;
+      boundary = IntSet.empty;
+      init = IntSet.empty;
+      join = IntSet.union;
+      equal = IntSet.equal;
+      transfer = (fun nd f -> IntSet.union gen.(nd.id) (IntSet.diff f kill.(nd.id)));
+    }
+  in
+  { r_defs = defs; r_sol = solve ?cost g spec }
+
+let reaching_defs_of (r : reaching) (node : int) (l : loc) : def list =
+  IntSet.fold
+    (fun id acc ->
+      let d = r.r_defs.(id) in
+      if may_alias d.d_loc l then d :: acc else acc)
+    r.r_sol.before.(node) []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Liveness *)
+
+let live ?cost (g : t) : LocSet.t solution =
+  let boundary =
+    List.fold_left
+      (fun acc (a : Ast.array_decl) -> LocSet.add (Whole a.Ast.a_name) acc)
+      LocSet.empty g.kernel.Ast.k_arrays
+  in
+  let transfer nd out =
+    match nd.kind with
+    | Header l ->
+        (* The index changes here: cell facts that mention it name a
+           different cell each iteration — widen them; the index itself
+           is (re)defined. *)
+        LocSet.fold
+          (fun f acc ->
+            if equal_loc f (Scalar l.Ast.index) then acc
+            else if mentions_index l.Ast.index f then
+              match f with
+              | Cell (a, _) -> LocSet.add (Whole a) acc
+              | _ -> LocSet.add f acc
+            else LocSet.add f acc)
+          out LocSet.empty
+    | _ ->
+        let writes = defs_at g nd.id in
+        let killed =
+          LocSet.filter
+            (fun f ->
+              not (List.exists (fun w -> strongly_overwrites w f) writes))
+            out
+        in
+        (* a same-iteration exact cell write also kills its own fact:
+           facts survive headers only as Whole, so an exact Cell fact
+           here was generated in the same iteration *)
+        let killed =
+          LocSet.filter
+            (fun f ->
+              not
+                (List.exists
+                   (fun w ->
+                     match (w, f) with
+                     | Cell _, Cell _ -> equal_loc w f
+                     | _ -> false)
+                   writes))
+            killed
+        in
+        List.fold_left (fun acc u -> LocSet.add u acc) killed (uses g nd.id)
+  in
+  solve ?cost g
+    {
+      dir = Backward;
+      boundary;
+      init = LocSet.empty;
+      join = LocSet.union;
+      equal = LocSet.equal;
+      transfer;
+    }
+
+let live_at (s : LocSet.t) (l : loc) = LocSet.exists (fun f -> may_alias f l) s
+
+(* ------------------------------------------------------------------ *)
+(* Must-initialisation *)
+
+let opt_must_join a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (LocSet.inter a b)
+
+let opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> LocSet.equal a b
+  | _ -> false
+
+let must_init ?cost (g : t) : LocSet.t option solution =
+  let boundary =
+    let s =
+      List.fold_left
+        (fun acc (a : Ast.array_decl) -> LocSet.add (Whole a.Ast.a_name) acc)
+        LocSet.empty g.kernel.Ast.k_arrays
+    in
+    let s =
+      List.fold_left
+        (fun acc (d : Ast.scalar_decl) ->
+          if d.Ast.s_kind = Ast.Param then LocSet.add (Scalar d.Ast.s_name) acc
+          else acc)
+        s g.kernel.Ast.k_scalars
+    in
+    Some s
+  in
+  let transfer nd f =
+    match f with
+    | None -> None
+    | Some s -> (
+        match nd.kind with
+        | Header l ->
+            let s = LocSet.filter (fun f -> not (mentions_index l.Ast.index f)) s in
+            Some (LocSet.add (Scalar l.Ast.index) s)
+        | _ ->
+            let writes = defs_at g nd.id in
+            Some
+              (List.fold_left
+                 (fun acc w ->
+                   match w with
+                   | Scalar _ -> LocSet.add w acc
+                   | Cell _ -> LocSet.add w acc
+                   | Whole _ -> acc (* writes one unknown cell *))
+                 s writes))
+  in
+  solve ?cost g
+    {
+      dir = Forward;
+      boundary;
+      init = None;
+      join = opt_must_join;
+      equal = opt_equal;
+      transfer;
+    }
+
+let initialized_in (s : LocSet.t) (l : loc) =
+  match l with
+  | Scalar _ -> LocSet.mem l s
+  | Cell (a, _) -> LocSet.mem l s || LocSet.mem (Whole a) s
+  | Whole _ -> LocSet.mem l s
+
+(* ------------------------------------------------------------------ *)
+(* Anticipated overwrites *)
+
+let anticipated ?cost (g : t) : LocSet.t option solution =
+  let transfer nd f =
+    match f with
+    | None -> None
+    | Some s -> (
+        match nd.kind with
+        | Header l ->
+            Some
+              (LocSet.filter
+                 (fun f ->
+                   (not (mentions_index l.Ast.index f))
+                   && not (equal_loc f (Scalar l.Ast.index)))
+                 s)
+        | _ ->
+            (* before = (after ∪ must-writes) \ may-reads *)
+            let writes = defs_at g nd.id in
+            let s =
+              List.fold_left
+                (fun acc w ->
+                  match w with
+                  | Scalar _ -> LocSet.add w acc
+                  | Cell _ -> LocSet.add w acc (* exact cell, same iteration *)
+                  | Whole _ -> acc)
+                s writes
+            in
+            let reads = uses g nd.id in
+            Some
+              (LocSet.filter
+                 (fun f -> not (List.exists (fun u -> may_alias f u) reads))
+                 s))
+  in
+  solve ?cost g
+    {
+      dir = Backward;
+      boundary = Some LocSet.empty;
+      init = None;
+      join = opt_must_join;
+      equal = opt_equal;
+      transfer;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Use-before-def *)
+
+type init_status = Initialized | Maybe_uninitialized | Uninitialized
+type use_site = { u_node : int; u_loc : loc; u_status : init_status }
+
+let use_before_def ?cost (g : t) : use_site list =
+  let r = reaching ?cost g in
+  let mi = must_init ?cost g in
+  let sites = ref [] in
+  Array.iter
+    (fun nd ->
+      if g.reachable.(nd.id) then
+        List.iter
+          (fun u ->
+            let status =
+              match mi.before.(nd.id) with
+              | Some s when initialized_in s u -> Initialized
+              | _ ->
+                  if reaching_defs_of r nd.id u = [] then
+                    (* nothing written in the kernel reaches; arrays and
+                       Param scalars are host-initialised but those are
+                       always must-init, so this is a genuine hole *)
+                    Uninitialized
+                  else Maybe_uninitialized
+            in
+            sites := { u_node = nd.id; u_loc = u; u_status = status } :: !sites)
+          (uses g nd.id))
+    g.nodes;
+  List.rev !sites

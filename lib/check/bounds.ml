@@ -18,10 +18,15 @@ let pass = "bounds"
 let diagf ?span sev fmt = Diag.diagf ?span sev ~pass fmt
 
 (** Range of values a loop index takes; [None] for zero-trip loops. *)
+(* [None] exactly when the body never runs: zero-trip bounds (hi <= lo,
+   e.g. [for i in 0..0]) or a non-positive step (which {!Wellformed}
+   rejects). Never raises — [loop_trip] is only consulted once the step
+   is known positive. *)
 let index_range (l : Ast.loop) : (int * int) option =
-  let trip = if l.Ast.step <= 0 then 0 else Ast.loop_trip l in
-  if trip = 0 then None
-  else Some (l.Ast.lo, l.Ast.lo + ((trip - 1) * l.Ast.step))
+  if l.Ast.step <= 0 || l.Ast.hi <= l.Ast.lo then None
+  else
+    let trip = Ast.loop_trip l in
+    Some (l.Ast.lo, l.Ast.lo + ((trip - 1) * l.Ast.step))
 
 type interval_result =
   | Interval of int * int  (** inclusive min/max over the box *)

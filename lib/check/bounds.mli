@@ -6,7 +6,10 @@
 
 open Ir
 
-(** Range of values a loop index takes; [None] for zero-trip loops. *)
+(** Inclusive range of values a loop index takes; [None] exactly when
+    the body never executes — zero-trip bounds ([hi <= lo], e.g.
+    [for i in 0..0]) or a non-positive step (which {!Wellformed}
+    rejects). Never raises. *)
 val index_range : Ast.loop -> (int * int) option
 
 val check : Ast.kernel -> Diag.t list

@@ -1,0 +1,14 @@
+(** Dead- and redundant-store detection: scalar stores never read again
+    (liveness) and array-cell stores provably overwritten before any
+    read (anticipated overwrites). All findings are warnings. *)
+
+open Ir
+
+(** [check k] builds the kernel's flow graph (or reuses [graph]) and
+    reports dead and redundant stores. [cost] accumulates flowgraph
+    construction/solve counters. *)
+val check :
+  ?graph:Analysis.Flowgraph.t ->
+  ?cost:Analysis.Flowgraph.cost ->
+  Ast.kernel ->
+  Diag.t list

@@ -1,0 +1,70 @@
+(** Uninitialized-read detection on the flow graph.
+
+    Classifies every scalar read with {!Analysis.Flowgraph.use_before_def}
+    and reports, with the same severity discipline as {!Bounds}: a read
+    no definition can reach is a provable hole and an error; a read that
+    some but not all paths initialise is a warning. [Param] scalars and
+    whole arrays are host-initialised, so only [Temp] and [Register]
+    scalars (and undeclared names, which {!Wellformed} already rejects)
+    can be flagged. Reads inside zero-trip loop bodies never execute and
+    are not reported. *)
+
+open Ir
+module Flowgraph = Analysis.Flowgraph
+
+let pass = "uninit"
+
+let diagf ?span sev fmt = Diag.diagf ?span sev ~pass fmt
+
+let check ?graph ?cost (k : Ast.kernel) : Diag.t list =
+  let g =
+    match graph with Some g -> g | None -> Flowgraph.build ?cost k
+  in
+  let sites = Flowgraph.use_before_def ?cost g in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (s : Flowgraph.use_site) ->
+      match (s.Flowgraph.u_loc, s.Flowgraph.u_status) with
+      | _, Flowgraph.Initialized -> None
+      | (Flowgraph.Cell _ | Flowgraph.Whole _), _ ->
+          (* array cells are host-initialised; a may-miss here only means
+             the kernel did not write them, which is not a defect *)
+          None
+      | Flowgraph.Scalar name, status ->
+          let key = (s.Flowgraph.u_node, name, status) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            let node = g.Flowgraph.nodes.(s.Flowgraph.u_node) in
+            let span = node.Flowgraph.span in
+            let rotation =
+              match node.Flowgraph.kind with
+              | Flowgraph.Rotate _ -> true
+              | _ -> false
+            in
+            match status with
+            | Flowgraph.Uninitialized when rotation ->
+                (* a rotation moves lane values without consuming them:
+                   an unassigned source lane is only a defect if a later
+                   real read uses what it rotated in, which the rotate's
+                   own definition of the destination hides from
+                   reaching-defs — so this cannot be called provable *)
+                Some
+                  (diagf ?span Diag.Warning
+                     "register bank rotation reads lane '%s', which is \
+                      never assigned before this point"
+                     name)
+            | Flowgraph.Uninitialized ->
+                Some
+                  (diagf ?span Diag.Error
+                     "scalar '%s' is read but never assigned before this use"
+                     name)
+            | Flowgraph.Maybe_uninitialized ->
+                Some
+                  (diagf ?span Diag.Warning
+                     "scalar '%s' may be read before it is assigned (not \
+                      initialised on every path to this read)"
+                     name)
+            | Flowgraph.Initialized -> None
+          end)
+    sites

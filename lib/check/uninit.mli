@@ -1,0 +1,17 @@
+(** Uninitialized-read detection: flow-graph use-before-def facts with
+    the {!Bounds} severity discipline — provable uninitialized reads are
+    errors, possible (not-on-every-path) ones are warnings. Reads made
+    by a register bank rotation cap at warning: a rotation only moves
+    lane values, so an unassigned source lane is a defect only if a
+    later real read consumes it. *)
+
+open Ir
+
+(** [check k] builds the kernel's flow graph (or reuses [graph]) and
+    reports uninitialized scalar reads. [cost] accumulates flowgraph
+    construction/solve counters. *)
+val check :
+  ?graph:Analysis.Flowgraph.t ->
+  ?cost:Analysis.Flowgraph.cost ->
+  Ast.kernel ->
+  Diag.t list

@@ -51,6 +51,11 @@ type stats = Engine.Store.stats = {
           ([--verify]) *)
   mutable verify_violations : int;
       (** error-severity validation findings across checked points *)
+  mutable flow_builds : int;
+      (** flow graphs the verified path's dataflow checks constructed *)
+  mutable flow_solves : int;  (** dataflow fixpoint solves run *)
+  mutable flow_seconds : float;
+      (** wall time building and solving flow graphs *)
 }
 
 let fresh_stats = Engine.Store.fresh_stats
@@ -263,4 +268,9 @@ let pp_profile fmt (s : stats) =
   if s.checked_points > 0 then
     Format.fprintf fmt
       "; translation validation: %d point(s) checked, %d violation(s)"
-      s.checked_points s.verify_violations
+      s.checked_points s.verify_violations;
+  if s.flow_builds > 0 then
+    Format.fprintf fmt
+      "; flowgraph: %d build(s), %d solve(s) in %.1f ms"
+      s.flow_builds s.flow_solves
+      (1000.0 *. s.flow_seconds)

@@ -50,6 +50,11 @@ type stats = Engine.Store.stats = {
           ([--verify]) *)
   mutable verify_violations : int;
       (** error-severity validation findings across checked points *)
+  mutable flow_builds : int;
+      (** flow graphs the verified path's dataflow checks constructed *)
+  mutable flow_solves : int;  (** dataflow fixpoint solves run *)
+  mutable flow_seconds : float;
+      (** wall time building and solving flow graphs *)
 }
 
 val fresh_stats : unit -> stats

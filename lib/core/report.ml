@@ -84,6 +84,12 @@ let render fmt (r : t) =
     Format.fprintf fmt
       "- translation validation: %d design point(s) checked, %d violation(s)@.@."
       st.Design.checked_points st.Design.verify_violations;
+  if st.Design.flow_builds > 0 then
+    Format.fprintf fmt
+      "- dataflow checks: %d flow graph(s) built, %d fixpoint solve(s), %.1f \
+       ms@.@."
+      st.Design.flow_builds st.Design.flow_solves
+      (1000.0 *. st.Design.flow_seconds);
   Format.fprintf fmt "## Selected design: %a@.@." pp_vector sel.Design.vector;
   let e = sel.Design.estimate in
   Format.fprintf fmt

@@ -121,15 +121,40 @@ let full_synthesize (env : env) (store : Store.t) (v : (string * int) list) :
         opts env.source
     else begin
       (* Verified evaluation: same pipeline, instrumented per stage by
-         the translation validator. The transformed result is
-         bit-identical; error-severity findings only bump the violation
-         counter (the sweep itself is the paper's experiment — reporting
-         stays the job of the drivers). *)
+         the translation validator, plus the flow-graph dataflow checks
+         (uninit/deadstore) over the transformed kernel — the pipeline
+         must never manufacture an uninitialized read or a dead store.
+         The transformed result is bit-identical; error-severity
+         findings only bump the violation counter (the sweep itself is
+         the paper's experiment — reporting stays the job of the
+         drivers). *)
       let outcome = Check.Validate.run ~options:opts env.source in
       stats.Store.checked_points <- stats.Store.checked_points + 1;
       stats.Store.verify_violations <-
         stats.Store.verify_violations
         + List.length (Check.Validate.violations outcome);
+      (match outcome.Check.Validate.result with
+      | Some r ->
+          let cost = Analysis.Flowgraph.fresh_cost () in
+          let graph =
+            Analysis.Flowgraph.build ~cost r.Transform.Pipeline.kernel
+          in
+          let flow_diags =
+            Check.Uninit.check ~graph ~cost r.Transform.Pipeline.kernel
+            @ Check.Deadstore.check ~graph ~cost r.Transform.Pipeline.kernel
+          in
+          stats.Store.verify_violations <-
+            stats.Store.verify_violations
+            + List.length (Check.Diag.errors flow_diags);
+          stats.Store.flow_builds <-
+            stats.Store.flow_builds + cost.Analysis.Flowgraph.builds;
+          stats.Store.flow_solves <-
+            stats.Store.flow_solves + cost.Analysis.Flowgraph.solves;
+          stats.Store.flow_seconds <-
+            stats.Store.flow_seconds
+            +. cost.Analysis.Flowgraph.build_seconds
+            +. cost.Analysis.Flowgraph.solve_seconds
+      | None -> ());
       match outcome.Check.Validate.result with
       | Some r -> r
       | None ->

@@ -56,6 +56,11 @@ type stats = {
       (** design points whose pipeline run was translation-validated *)
   mutable verify_violations : int;
       (** error-severity validation findings across checked points *)
+  mutable flow_builds : int;
+      (** flow graphs constructed by the verified path's dataflow checks *)
+  mutable flow_solves : int;  (** dataflow fixpoint solves run *)
+  mutable flow_seconds : float;
+      (** wall time building and solving flow graphs *)
 }
 
 let fresh_stats () =
@@ -74,6 +79,9 @@ let fresh_stats () =
     delta_reuses = 0;
     checked_points = 0;
     verify_violations = 0;
+    flow_builds = 0;
+    flow_solves = 0;
+    flow_seconds = 0.0;
   }
 
 let reset_stats (s : stats) =
@@ -90,7 +98,10 @@ let reset_stats (s : stats) =
   s.region_memo_hits <- 0;
   s.delta_reuses <- 0;
   s.checked_points <- 0;
-  s.verify_violations <- 0
+  s.verify_violations <- 0;
+  s.flow_builds <- 0;
+  s.flow_solves <- 0;
+  s.flow_seconds <- 0.0
 
 let stats_copy (s : stats) : stats =
   {
@@ -108,6 +119,9 @@ let stats_copy (s : stats) : stats =
     delta_reuses = s.delta_reuses;
     checked_points = s.checked_points;
     verify_violations = s.verify_violations;
+    flow_builds = s.flow_builds;
+    flow_solves = s.flow_solves;
+    flow_seconds = s.flow_seconds;
   }
 
 (** Add [from]'s counters into [into] — the stats half of {!absorb}. *)
@@ -125,7 +139,10 @@ let stats_add ~(into : stats) (from : stats) =
   into.region_memo_hits <- into.region_memo_hits + from.region_memo_hits;
   into.delta_reuses <- into.delta_reuses + from.delta_reuses;
   into.checked_points <- into.checked_points + from.checked_points;
-  into.verify_violations <- into.verify_violations + from.verify_violations
+  into.verify_violations <- into.verify_violations + from.verify_violations;
+  into.flow_builds <- into.flow_builds + from.flow_builds;
+  into.flow_solves <- into.flow_solves + from.flow_solves;
+  into.flow_seconds <- into.flow_seconds +. from.flow_seconds
 
 let stats_diff ~(before : stats) ~(after : stats) : stats =
   {
@@ -143,6 +160,9 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
     delta_reuses = after.delta_reuses - before.delta_reuses;
     checked_points = after.checked_points - before.checked_points;
     verify_violations = after.verify_violations - before.verify_violations;
+    flow_builds = after.flow_builds - before.flow_builds;
+    flow_solves = after.flow_solves - before.flow_solves;
+    flow_seconds = after.flow_seconds -. before.flow_seconds;
   }
 
 type t = {

@@ -40,6 +40,11 @@ type stats = {
           outer-prefix unroll instead of unrolling from the source *)
   mutable checked_points : int;
   mutable verify_violations : int;
+  mutable flow_builds : int;
+      (** flow graphs constructed by the verified path's dataflow checks *)
+  mutable flow_solves : int;  (** dataflow fixpoint solves run *)
+  mutable flow_seconds : float;
+      (** wall time building and solving flow graphs *)
 }
 
 val fresh_stats : unit -> stats
