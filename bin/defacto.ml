@@ -176,6 +176,46 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let joint_arg =
+  let doc =
+    "Search the joint transform-configuration space (unroll vector x \
+     tile x scalar-replace/peel/licm toggles) instead of the unroll \
+     lattice alone: illegal and redundant configurations are pruned \
+     before any transform runs, and above a size threshold the sweep \
+     turns best-first on the analytical bounds."
+  in
+  Arg.(value & flag & info [ "joint" ] ~doc)
+
+let tile_candidates_arg =
+  let doc =
+    "Comma-separated tile-size requests for the joint space (default \
+     4,8,16); each is clamped to the nearest trip-count divisor per \
+     spine loop. Only meaningful with $(b,--joint)."
+  in
+  Arg.(value & opt (some string) None & info [ "tile-candidates" ] ~docv:"T,T,..." ~doc)
+
+let parse_tile_candidates = function
+  | None -> Dse.Space.default_tile_candidates
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter (fun x -> String.trim x <> "")
+      |> List.map (fun x ->
+             match int_of_string_opt (String.trim x) with
+             | Some t when t > 1 -> t
+             | _ ->
+                 prerr_endline
+                   ("defacto: --tile-candidates: bad tile size '" ^ x ^ "'");
+                 exit 1)
+
+let print_joint_counters (j : Dse.Space.joint) =
+  Format.printf
+    "# joint space: %d config(s) enumerated, %d illegal, %d redundant, %d \
+     bound-pruned, %d evaluated%s@."
+    j.Dse.Space.space_size j.Dse.Space.pruned_illegal
+    j.Dse.Space.pruned_redundant j.Dse.Space.pruned_bound
+    (List.length j.Dse.Space.points)
+    (if j.Dse.Space.truncated then " (budget exhausted)" else "")
+
 let no_incremental_arg =
   let doc =
     "Rebuild every design point from scratch: disable the store's DFG \
@@ -223,7 +263,8 @@ let load_tasks kernels file : Engine.task list =
       named @ from_file
 
 let explore kernels file non_pipelined memories capacity report prof verify
-    no_incremental cache_dir cold backend_name jobs =
+    no_incremental cache_dir cold backend_name jobs joint tile_candidates =
+  let tile_candidates = parse_tile_candidates tile_candidates in
   let incremental = not no_incremental in
   let tasks = load_tasks kernels file in
   let profile = make_profile ~non_pipelined ~memories in
@@ -287,6 +328,34 @@ let explore kernels file non_pipelined memories capacity report prof verify
         Format.printf
           "profile: %d distinct block shapes in the scheduler memo@."
           (Dse.Design.sched_memo_size o.Dse.Driver.ctx)
+      end;
+      if joint then begin
+        (* The joint sweep reuses the outcome's context, so the search's
+           warm point cache serves the unroll-only sub-space. *)
+        let ctx = o.Dse.Driver.ctx in
+        let j = Dse.Space.sweep_joint ~tile_candidates ctx in
+        (match Dse.Space.joint_best ctx j with
+        | Some b ->
+            Format.printf "joint selection: %a: cycles=%d slices=%d@."
+              Dse.Design.pp_config b.Dse.Space.config
+              (Dse.Design.cycles b.Dse.Space.point)
+              (Dse.Design.space b.Dse.Space.point);
+            let sel = r.Dse.Search.selected in
+            if
+              Dse.Design.cycles b.Dse.Space.point
+              < Dse.Design.cycles sel
+              || Dse.Design.cycles b.Dse.Space.point = Dse.Design.cycles sel
+                 && Dse.Design.space b.Dse.Space.point < Dse.Design.space sel
+            then
+              Format.printf
+                "joint selection beats the unroll-only search (%d vs %d \
+                 cycles, %d vs %d slices)@."
+                (Dse.Design.cycles b.Dse.Space.point)
+                (Dse.Design.cycles sel)
+                (Dse.Design.space b.Dse.Space.point)
+                (Dse.Design.space sel)
+        | None -> Format.printf "joint selection: no fitting configuration@.");
+        print_joint_counters j
       end)
     summary.Dse.Driver.outcomes;
   let t = summary.Dse.Driver.total in
@@ -311,7 +380,7 @@ let explore_cmd =
       const explore $ explore_kernels_arg $ file_arg $ pipelined_arg
       $ memories_arg $ capacity_arg $ report_arg $ profile_arg $ verify_arg
       $ no_incremental_arg $ cache_dir_arg $ cold_arg $ backend_arg
-      $ explore_jobs_arg)
+      $ explore_jobs_arg $ joint_arg $ tile_candidates_arg)
 
 (* ------------------------------------------------------------------ *)
 (* estimate *)
@@ -374,8 +443,9 @@ let prune_arg =
   Arg.(value & flag & info [ "prune" ] ~doc)
 
 let space kernel file non_pipelined memories capacity max_product prune jobs
-    verify no_incremental cache_dir cold backend_name =
+    verify no_incremental cache_dir cold backend_name joint tile_candidates =
   let incremental = not no_incremental in
+  let tile_candidates = parse_tile_candidates tile_candidates in
   let k = or_die (load_kernel kernel file) in
   let profile = make_profile ~non_pipelined ~memories in
   let backend = backend_of_flag backend_name in
@@ -396,6 +466,41 @@ let space kernel file non_pipelined memories capacity max_product prune jobs
     Dse.Design.context ~profile ~verify ~incremental ~capacity ~backend ~store
       k
   in
+  if joint then begin
+    let j = Dse.Space.sweep_joint ~max_product ~tile_candidates ctx in
+    (match cache_dir with
+    | Some dir ->
+        Engine.Persist.save_points ~cache_dir:dir ~config ~kernel_key store;
+        Engine.Persist.save_memo ~cache_dir:dir ~config
+          store.Engine.Store.sched_memo
+    | None -> ());
+    Format.printf "# %-40s %10s %10s %10s %8s@." "config" "cycles" "slices"
+      "balance" "fits";
+    List.iter
+      (fun (jp : Dse.Space.joint_point) ->
+        Format.printf "%-42s %10d %10d %10.3f %8s@."
+          (Dse.Design.config_to_string jp.Dse.Space.config)
+          (Dse.Design.cycles jp.Dse.Space.point)
+          (Dse.Design.space jp.Dse.Space.point)
+          (Dse.Design.balance jp.Dse.Space.point)
+          (if Dse.Design.space jp.Dse.Space.point <= capacity then "yes"
+           else "no"))
+      j.Dse.Space.points;
+    (match Dse.Space.joint_best ctx j with
+    | Some b ->
+        Format.printf "# best fitting: %a: cycles=%d slices=%d@."
+          Dse.Design.pp_config b.Dse.Space.config
+          (Dse.Design.cycles b.Dse.Space.point)
+          (Dse.Design.space b.Dse.Space.point)
+    | None -> Format.printf "# no fitting design@.");
+    print_joint_counters j;
+    if verify then
+      Format.printf "# verify: %d design point(s) checked, %d violation(s)@."
+        ctx.Dse.Design.stats.Dse.Design.checked_points
+        ctx.Dse.Design.stats.Dse.Design.verify_violations;
+    Format.printf "# stats: %a@." Dse.Design.pp_stats ctx.Dse.Design.stats;
+    exit 0
+  end;
   let sp = Dse.Space.sweep ~max_product ~prune ?jobs ctx in
   (match cache_dir with
   | Some dir ->
@@ -434,7 +539,8 @@ let space_cmd =
     Term.(
       const space $ kernel_arg $ file_arg $ pipelined_arg $ memories_arg
       $ capacity_arg $ max_product_arg $ prune_arg $ jobs_arg $ verify_arg
-      $ no_incremental_arg $ cache_dir_arg $ cold_arg $ backend_arg)
+      $ no_incremental_arg $ cache_dir_arg $ cold_arg $ backend_arg
+      $ joint_arg $ tile_candidates_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache *)

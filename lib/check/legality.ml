@@ -333,11 +333,20 @@ let spine_loop (k : Ast.kernel) index =
     (Loop_nest.spine k.Ast.k_body)
 
 (** Strip-mining [index] by [tile] actually splits a loop: the index
-    names a spine loop and the tile is a proper fraction of its trip. *)
+    names a spine loop and the tile, rounded down to a divisor of the
+    trip exactly as {!Transform.Tiling.strip_mine} rounds it, is a
+    proper fraction of the trip. (A trip-5 loop with tile 2 rounds to
+    1 and splits nothing, so it is {e not} applicable.) *)
 let tiling_applicable (k : Ast.kernel) ~index ~tile : bool =
   match spine_loop k index with
   | None -> false
-  | Some l -> tile > 1 && tile < Ast.loop_trip l
+  | Some l ->
+      let trip = Ast.loop_trip l in
+      tile > 1 && tile < trip
+      &&
+      let t = max 1 (min tile trip) in
+      let rec down t = if trip mod t = 0 then t else down (t - 1) in
+      down t > 1
 
 (** Peeling the first iteration of [index] leaves a well-defined rest
     loop: the index is on the spine with at least one iteration. *)
@@ -345,6 +354,104 @@ let peeling_applicable (k : Ast.kernel) ~index : bool =
   match spine_loop k index with
   | None -> false
   | Some l -> Ast.loop_trip l >= 1
+
+(* ------------------------------------------------------------------ *)
+(* Joint-configuration verdicts: the pre-enumeration pruner *)
+
+type config_verdict =
+  | Config_legal
+  | Config_redundant of Transform.Pipeline.config
+  | Config_illegal of string
+
+let rec body_has_loop index body =
+  List.exists
+    (function
+      | Ast.For l -> l.Ast.index = index || body_has_loop index l.Ast.body
+      | Ast.If (_, t, e) -> body_has_loop index t || body_has_loop index e
+      | Ast.Assign _ | Ast.Rotate _ -> false)
+    body
+
+(** Whether [c] asks for an actual unroll-and-jam: a factor above 1 on a
+    spine loop that is not the innermost (innermost-only unrolling never
+    reorders anything). *)
+let wants_jam (k : Ast.kernel) (c : Transform.Pipeline.config) : bool =
+  let spine = Loop_nest.spine k.Ast.k_body in
+  let innermost =
+    match List.rev spine with l :: _ -> Some l.Ast.index | [] -> None
+  in
+  List.exists
+    (fun (index, factor) ->
+      factor > 1 && Some index <> innermost && spine_loop k index <> None)
+    c.Transform.Pipeline.vector
+
+(** Pre-enumeration verdict on one joint configuration, before any
+    transform runs (the joint sweep's pruner):
+
+    - [Config_illegal]: evaluating [c] either raises
+      [Transform.Pipeline.Stage_error] (a tile index naming no loop of
+      the kernel) or silently changes the kernel's results (a requested
+      unroll-and-jam whose array dependences are preserved but which
+      reorders a non-reduction loop-carried scalar recurrence — the
+      hazard the dependence test cannot see). A jam that fails the
+      dependence test is {e not} illegal: the pipeline falls back to
+      innermost-only unrolling.
+    - [Config_redundant canon]: [c] evaluates cleanly but denotes the
+      same design as the canonical [canon] (an inapplicable tile
+      request; an unroll factor above 1 on a loop the tile renames; a
+      peel request with scalar replacement off, which peels nothing).
+    - [Config_legal] otherwise. *)
+let config_verdict ?graph ?cost (k : Ast.kernel)
+    (c : Transform.Pipeline.config) : config_verdict =
+  let illegal_tile =
+    match c.Transform.Pipeline.tile with
+    | Some (index, _) when not (body_has_loop index k.Ast.k_body) ->
+        Some
+          (Printf.sprintf "tile index '%s' names no loop of the kernel" index)
+    | _ -> None
+  in
+  match illegal_tile with
+  | Some why -> Config_illegal why
+  | None ->
+      if
+        wants_jam k c
+        && jam_unroll_legal_dependence k
+        &&
+        let g =
+          match graph with Some g -> g | None -> Flowgraph.build ?cost k
+        in
+        scalar_jam_hazard ?cost g <> None
+      then
+        Config_illegal
+          "unroll-and-jam at this vector reorders a loop-carried scalar \
+           recurrence the dependence test cannot see"
+      else begin
+        (* Canonicalize the redundant spellings. *)
+        let tile =
+          match c.Transform.Pipeline.tile with
+          | Some (index, t)
+            when spine_loop k index <> None
+                 && not (tiling_applicable k ~index ~tile:t) ->
+              None
+          | t -> t
+        in
+        let vector =
+          match tile with
+          | Some (ti, t) when tiling_applicable k ~index:ti ~tile:t ->
+              (* Strip-mining renames the loop, so the unroller ignores
+                 its entry: factor 1 is the canonical spelling. *)
+              List.map
+                (fun (i, u) -> if i = ti then (i, 1) else (i, u))
+                c.Transform.Pipeline.vector
+          | _ -> c.Transform.Pipeline.vector
+        in
+        let peel =
+          (* With replacement off the scalar report is empty, so the
+             peel stage has nothing to peel. *)
+          c.Transform.Pipeline.peel && c.Transform.Pipeline.scalar_replace
+        in
+        let canon = { c with Transform.Pipeline.tile; vector; peel } in
+        if canon = c then Config_legal else Config_redundant canon
+      end
 
 (* ------------------------------------------------------------------ *)
 

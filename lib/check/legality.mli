@@ -69,6 +69,31 @@ val tiling_applicable : Ast.kernel -> index:string -> tile:int -> bool
 (** [index] names a spine loop with at least one iteration. *)
 val peeling_applicable : Ast.kernel -> index:string -> bool
 
+(** Pre-enumeration verdict on one joint transform configuration — the
+    joint sweep's pruner. *)
+type config_verdict =
+  | Config_legal
+  | Config_redundant of Transform.Pipeline.config
+      (** evaluates cleanly but denotes the same design as the carried
+          canonical configuration *)
+  | Config_illegal of string
+      (** force-evaluating it raises [Transform.Pipeline.Stage_error]
+          (tile index naming no loop) or silently changes results (a
+          jam reordering a non-reduction scalar recurrence) *)
+
+(** Whether the configuration asks for an actual unroll-and-jam: a
+    factor above 1 on a non-innermost spine loop. *)
+val wants_jam : Ast.kernel -> Transform.Pipeline.config -> bool
+
+(** Verdict for one configuration, before any transform runs. [graph]
+    reuses an already-built flow graph of the source kernel. *)
+val config_verdict :
+  ?graph:Analysis.Flowgraph.t ->
+  ?cost:Analysis.Flowgraph.cost ->
+  Ast.kernel ->
+  Transform.Pipeline.config ->
+  config_verdict
+
 (** Diagnostics for the kernel, optionally against the concrete pipeline
     options of a design point (unroll vector, tile request). [graph]
     reuses an already-built flow graph; [cost] accumulates flowgraph

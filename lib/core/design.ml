@@ -13,8 +13,18 @@
 
 open Ir
 
-type point = Engine.Store.point = {
+type config = Engine.Store.config = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+type point = Engine.Store.point = {
+  config : config;  (** the normalized configuration this point is *)
+  vector : (string * int) list;
+      (** [config.vector], kept as a field for vector-only call sites *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
@@ -56,6 +66,16 @@ type stats = Engine.Store.stats = {
   mutable flow_solves : int;  (** dataflow fixpoint solves run *)
   mutable flow_seconds : float;
       (** wall time building and solving flow graphs *)
+  mutable joint_configs : int;
+      (** configurations enumerated by joint sweeps (the joint space
+          size before any pruning) *)
+  mutable joint_pruned_illegal : int;
+      (** joint configurations dropped by the legality pre-pruner *)
+  mutable joint_pruned_redundant : int;
+      (** joint configurations dropped as duplicates of a canonical
+          configuration already enumerated *)
+  mutable joint_pruned_bound : int;
+      (** joint configurations skipped on tier-1 lower bounds *)
 }
 
 let fresh_stats = Engine.Store.fresh_stats
@@ -77,8 +97,10 @@ type context = {
           cached points — build a fresh context instead (updating
           [capacity] is fine for the [full] backends: it does not enter
           behavioral evaluation). *)
-  quick_facts : Hls.Quick.facts option Lazy.t;
-      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
+  quick_facts : (string * int) option -> Hls.Quick.facts;
+      (** tier-1 pre-estimator facts per tile candidate, memoized and
+          mutex-protected; facts for a tile come from the strip-mined
+          source, keeping the quick bounds admissible under tiling *)
   verify : bool;
       (** translation-validate every uncached evaluation
           ({!Check.Validate}); selections are bit-identical, violations
@@ -164,13 +186,44 @@ let umax (ctx : context) =
     written). Still bumps the store's counters. *)
 let evaluate_uncached (ctx : context) (v : (string * int) list) : point =
   ctx.backend.Engine.Backend.synthesize (env ctx) ctx.store
-    (normalize_vector ctx v)
+    (Engine.Backend.base_config (env ctx) (normalize_vector ctx v))
 
 (** Cached [Generate; Synthesize] through the context's store: vectors
     are normalized before the cache lookup, so any two spellings of the
     same design share one synthesis run. *)
 let evaluate (ctx : context) (v : (string * int) list) : point =
   Engine.Backend.evaluate (env ctx) ctx.backend ctx.store v
+
+(* ------------------------------------------------------------------ *)
+(* Joint configurations *)
+
+(** The context's base configuration at unroll vector [v]: tile and
+    toggles from the base pipeline options — what the vector-only entry
+    points evaluate. *)
+let base_config (ctx : context) (v : (string * int) list) : config =
+  Engine.Backend.base_config (env ctx) v
+
+(** Canonical cache key of a configuration (see
+    {!Engine.Backend.normalize_config}). *)
+let normalize_config (ctx : context) (c : config) : config =
+  Engine.Backend.normalize_config (env ctx) c
+
+(** Equality of the designs two configurations denote: vectors compare
+    via {!vector_equal}, the other knobs structurally. *)
+let config_equal (a : config) (b : config) =
+  vector_equal a.vector b.vector
+  && a.tile = b.tile
+  && a.scalar_replace = b.scalar_replace
+  && a.peel = b.peel && a.licm = b.licm
+
+(** Cached evaluation of one joint configuration (normalized before the
+    cache lookup, like {!evaluate}). *)
+let evaluate_config (ctx : context) (c : config) : point =
+  Engine.Backend.evaluate_config (env ctx) ctx.backend ctx.store c
+
+(** The backend's tier-1 bound for a joint configuration. *)
+let quick_config (ctx : context) (c : config) : Hls.Quick.t option =
+  ctx.backend.Engine.Backend.bound (env ctx) ctx.store c
 
 (* ------------------------------------------------------------------ *)
 (* Tier-1 analytical bounds *)
@@ -181,7 +234,8 @@ let evaluate (ctx : context) (v : (string * int) list) : point =
     pre-estimator does not apply (tiling pipeline); callers must then
     synthesize instead of pruning. *)
 let quick (ctx : context) (v : (string * int) list) : Hls.Quick.t option =
-  ctx.backend.Engine.Backend.bound (env ctx) ctx.store v
+  ctx.backend.Engine.Backend.bound (env ctx) ctx.store
+    (Engine.Backend.base_config (env ctx) v)
 
 (** Record that one full synthesis was skipped on tier-1 evidence. *)
 let note_pruned (ctx : context) =
@@ -208,9 +262,10 @@ let stats_diff = Engine.Store.stats_diff
     across domains. Never share one mutable context across domains —
     fork per domain and [absorb] the forks back on the joining side. *)
 let fork (ctx : context) : context =
-  (* Lazy.force is not domain-safe: settle the shared suspension here,
-     on the forking side, before any domain can race on it. *)
-  ignore (Lazy.force ctx.quick_facts);
+  (* The quick-facts memo is mutex-protected and domain-safe, but
+     pre-warm the base pipeline's entry here so sweep domains start
+     from a hit instead of contending on the first computation. *)
+  ignore (ctx.quick_facts ctx.pipeline.Transform.Pipeline.tile);
   let store = Engine.Store.fork ctx.store in
   { ctx with store; stats = store.Engine.Store.stats }
 
@@ -223,6 +278,9 @@ let balance (p : point) = p.estimate.Hls.Estimate.balance
 let space (p : point) = p.estimate.Hls.Estimate.slices
 let cycles (p : point) = p.estimate.Hls.Estimate.cycles
 let fits (ctx : context) (p : point) = space p <= ctx.capacity
+
+let pp_config = Transform.Pipeline.pp_config
+let config_to_string = Transform.Pipeline.config_to_string
 
 let pp_vector fmt v =
   Format.fprintf fmt "(%s)"
@@ -241,7 +299,13 @@ let pp_stats fmt (s : stats) =
     (1000.0 *. s.estimate_seconds);
   if s.checked_points > 0 then
     Format.fprintf fmt "; verified %d point(s), %d violation(s)"
-      s.checked_points s.verify_violations
+      s.checked_points s.verify_violations;
+  if s.joint_configs > 0 then
+    Format.fprintf fmt
+      "; joint space: %d config(s) enumerated, %d illegal, %d redundant, %d \
+       bound-pruned"
+      s.joint_configs s.joint_pruned_illegal s.joint_pruned_redundant
+      s.joint_pruned_bound
 
 (** Per-stage wall-time split of the estimator (the [--profile] view):
     DFG construction, scheduling, data layout, and whatever remains of

@@ -12,8 +12,18 @@
 
 open Ir
 
-type point = Engine.Store.point = {
+type config = Engine.Store.config = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+type point = Engine.Store.point = {
+  config : config;  (** the normalized configuration this point is *)
+  vector : (string * int) list;
+      (** [config.vector], kept as a field for vector-only call sites *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
@@ -55,6 +65,16 @@ type stats = Engine.Store.stats = {
   mutable flow_solves : int;  (** dataflow fixpoint solves run *)
   mutable flow_seconds : float;
       (** wall time building and solving flow graphs *)
+  mutable joint_configs : int;
+      (** configurations enumerated by joint sweeps (the joint space
+          size before any pruning) *)
+  mutable joint_pruned_illegal : int;
+      (** joint configurations dropped by the legality pre-pruner *)
+  mutable joint_pruned_redundant : int;
+      (** joint configurations dropped as duplicates of a canonical
+          configuration already enumerated *)
+  mutable joint_pruned_bound : int;
+      (** joint configurations skipped on tier-1 lower bounds *)
 }
 
 val fresh_stats : unit -> stats
@@ -77,8 +97,10 @@ type context = {
           cached points — build a fresh context with {!context} instead
           (updating [capacity] is fine for the behavioral backends: it
           does not enter evaluation). *)
-  quick_facts : Hls.Quick.facts option Lazy.t;
-      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
+  quick_facts : (string * int) option -> Hls.Quick.facts;
+      (** tier-1 pre-estimator facts per tile candidate, memoized and
+          mutex-protected; facts for a tile come from the strip-mined
+          source, keeping the quick bounds admissible under tiling *)
   verify : bool;
       (** translation-validate every uncached evaluation with
           {!Check.Validate}: the transformed result and every selection
@@ -140,6 +162,29 @@ val umax : context -> (string * int) list
     spellings of the same design share one synthesis run. *)
 val evaluate : context -> (string * int) list -> point
 
+(** The context's base configuration at the given unroll vector: tile
+    and toggles from the base pipeline options — what the vector-only
+    entry points evaluate. *)
+val base_config : context -> (string * int) list -> config
+
+(** Canonical cache key of a configuration (see
+    {!Engine.Backend.normalize_config}): normalized vector, strip-mine
+    clamped tile (dropped when a no-op), unroll factor 1 on the tiled
+    loop. *)
+val normalize_config : context -> config -> config
+
+(** Equality of the designs two configurations denote: vectors compare
+    via {!vector_equal}, the other knobs structurally. *)
+val config_equal : config -> config -> bool
+
+(** Cached evaluation of one joint configuration (normalized before the
+    cache lookup, like {!evaluate}). *)
+val evaluate_config : context -> config -> point
+
+(** The backend's tier-1 bound for a joint configuration ({!quick} over
+    the full knob set). *)
+val quick_config : context -> config -> Hls.Quick.t option
+
 (** Like {!evaluate} but bypassing the cache entirely (neither read nor
     written); still counted in [stats]. *)
 val evaluate_uncached : context -> (string * int) list -> point
@@ -149,9 +194,9 @@ val evaluate_uncached : context -> (string * int) list -> point
     generation, no scheduling. The bounds never exceed what {!evaluate}
     would report for the same vector, so callers may skip evaluation of
     points they disqualify without changing any selection. [None] when
-    the backend has no bound tier (plain [full]/[lowlevel]) or the
-    pre-estimator does not apply (tiling pipelines); callers must then
-    evaluate instead of pruning. Counted in [stats.quick_estimates]. *)
+    the backend has no bound tier (plain [full]/[lowlevel]); callers
+    must then evaluate instead of pruning. Counted in
+    [stats.quick_estimates]. *)
 val quick : context -> (string * int) list -> Hls.Quick.t option
 
 (** Record that one full synthesis was skipped on tier-1 evidence
@@ -185,6 +230,8 @@ val space : point -> int
 val cycles : point -> int
 val fits : context -> point -> bool
 val pp_vector : Format.formatter -> (string * int) list -> unit
+val pp_config : Format.formatter -> config -> unit
+val config_to_string : config -> string
 val pp_point : Format.formatter -> point -> unit
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -37,55 +37,18 @@ type result = {
 (* ------------------------------------------------------------------ *)
 (* Vector enumeration within bounds *)
 
-(* Divisor lists come from the context's precomputed [spine_divisors]
-   tables: these helpers run on every Increase/SelectBetween move of the
-   search, so recomputing [Util.divisors] per loop per call is pure
-   waste. *)
-let spine_divisors_of (ctx : Design.context) (l : Ast.loop) : int list =
-  match List.assoc_opt l.index ctx.Design.spine_divisors with
-  | Some ds -> ds
-  | None -> Util.divisors (Ast.loop_trip l)
-
+(* The enumeration primitives are shared with [Space] through
+   [Dse.Util]; here they range over the saturation analysis's eligible
+   loops. *)
 let vectors_between (ctx : Design.context) (sat : Saturation.t) ~lower ~upper
     ~product : (string * int) list list =
-  let lo i = Option.value ~default:1 (List.assoc_opt i lower) in
-  let hi i = Option.value ~default:1 (List.assoc_opt i upper) in
-  let rec go loops target =
-    match loops with
-    | [] -> if target = 1 then [ [] ] else []
-    | (l : Ast.loop) :: rest ->
-        let cands =
-          spine_divisors_of ctx l
-          |> List.filter (fun d ->
-                 d >= lo l.index && d <= hi l.index && target mod d = 0)
-        in
-        List.concat_map
-          (fun d -> List.map (fun tl -> (l.index, d) :: tl) (go rest (target / d)))
-          cands
-  in
-  let eligible =
-    List.filter (fun (l : Ast.loop) -> List.mem l.index sat.Saturation.eligible)
-      ctx.Design.spine
-  in
-  List.map (Design.normalize_vector ctx) (go eligible product)
+  Util.vectors_between ctx ~eligible:sat.Saturation.eligible ~lower ~upper
+    ~product
 
 (** Products reachable by some vector of eligible divisor factors. *)
 let achievable_products (ctx : Design.context) (sat : Saturation.t) ~upper :
     int list =
-  let rec go loops acc =
-    match loops with
-    | [] -> acc
-    | (l : Ast.loop) :: rest ->
-        if not (List.mem l.index sat.Saturation.eligible) then go rest acc
-        else begin
-          let cap = Option.value ~default:1 (List.assoc_opt l.index upper) in
-          let ds = List.filter (fun d -> d <= cap) (spine_divisors_of ctx l) in
-          go rest
-            (List.sort_uniq compare
-               (List.concat_map (fun p -> List.map (fun d -> p * d) ds) acc))
-        end
-  in
-  go ctx.Design.spine [ 1 ]
+  Util.achievable_products ctx ~eligible:sat.Saturation.eligible ~upper
 
 (* ------------------------------------------------------------------ *)
 (* Loop ranking for Uinit and Increase (Section 5.3) *)

@@ -38,38 +38,15 @@ type t = {
   total_designs : int;  (** paper-style space size: product of trip counts *)
 }
 
-(** All divisor vectors over the explorable loops whose unroll product is
-    at most [max_product]. [eligible] defaults to the loops the
-    saturation analysis considers (those that carry memory accesses);
-    MM's innermost loop is excluded exactly as in the paper. The product
-    bound is enforced *during* the recursion — factors are all >= 1, so a
-    prefix already over the bound cannot be completed — which keeps deep
-    nests from materializing the full cross-product first.
-
-    Divisor lists come from the context's precomputed
-    [spine_divisors] tables (one [Util.divisors] per loop per context,
-    not per call), and the enumeration is accumulator-style: each
-    completed vector is consed onto the accumulator exactly once and the
-    whole list reversed at the end, so no per-level intermediate
-    cross-products are materialized. The output order is the same
-    lexicographic (ascending-divisor) order as a nested [concat_map]. *)
-let divisor_vectors ?(max_product = max_int) (ctx : Design.context)
+(** All divisor vectors over the explorable loops whose unroll product
+    is at most [max_product] — {!Util.divisor_vectors}, re-exported
+    because the sweep's callers have always found it here. [eligible]
+    defaults to the loops the saturation analysis considers (those that
+    carry memory accesses); MM's innermost loop is excluded exactly as
+    in the paper. *)
+let divisor_vectors ?max_product (ctx : Design.context)
     ~(eligible : string list) : (string * int) list list =
-  let rec go loops divs budget prefix acc =
-    match (loops, divs) with
-    | [], _ -> List.rev prefix :: acc
-    | (l : Ast.loop) :: rest, (_, ds) :: rest_divs ->
-        if List.mem l.index eligible then
-          List.fold_left
-            (fun acc d ->
-              if d > budget then acc
-              else go rest rest_divs (budget / d) ((l.index, d) :: prefix) acc)
-            acc ds
-        else go rest rest_divs budget ((l.index, 1) :: prefix) acc
-    | _ :: _, [] ->
-        invalid_arg "divisor_vectors: spine and spine_divisors disagree"
-  in
-  List.rev (go ctx.Design.spine ctx.Design.spine_divisors max_product [] [])
+  Util.divisor_vectors ?max_product ctx ~eligible
 
 (* Run one worker thunk per fork: on the caller's own spawned domains,
    or on a shared {!Engine.Pool} when the session provides one (the
@@ -343,3 +320,212 @@ let smallest_comparable ?(slack = 0.05) (ctx : Design.context) (t : t) :
 (** Fraction of the paper-style design space a search visited. *)
 let fraction_searched (t : t) ~(visited : int) : float =
   float_of_int visited /. float_of_int (max 1 t.total_designs)
+
+(* ------------------------------------------------------------------ *)
+(* The joint configuration space *)
+
+type joint_point = {
+  config : Design.config;
+  point : Design.point;
+}
+
+type joint = {
+  points : joint_point list;
+      (** the evaluated configurations, in enumeration order *)
+  space_size : int;
+      (** joint lattice size before any pruning: unroll vectors x tile
+          options x toggle combinations *)
+  pruned_illegal : int;  (** dropped by the legality pre-pruner *)
+  pruned_redundant : int;
+      (** dropped as another spelling of a configuration already
+          enumerated (canonicalization + dedupe) *)
+  pruned_bound : int;  (** skipped on tier-1 lower bounds *)
+  truncated : bool;  (** the evaluation [budget] ran out *)
+  total_designs : int;
+      (** paper-style accounting over the joint space: all integer
+          unroll factors x tile options x toggles *)
+}
+
+let default_tile_candidates = [ 4; 8; 16 ]
+
+(** The tile options the joint sweep enumerates: no tile, plus each
+    requested size clamped to the divisor the strip-mine would use, on
+    every spine loop it properly splits. *)
+let joint_tile_options (ctx : Design.context) ~(candidates : int list) :
+    (string * int) option list =
+  let tiles =
+    List.concat_map
+      (fun (l : Ast.loop) ->
+        let trip = Ast.loop_trip l in
+        let divs = Util.spine_divisors_of ctx l in
+        List.filter_map
+          (fun t ->
+            let t = max 1 (min t trip) in
+            let d =
+              List.fold_left (fun best d -> if d <= t then d else best) 1 divs
+            in
+            if d <= 1 || d >= trip then None else Some (l.Ast.index, d))
+          candidates)
+      ctx.Design.spine
+    |> List.sort_uniq compare
+  in
+  None :: List.map (fun x -> Some x) tiles
+
+(* All eight toggle combinations, the base pipeline's first so the
+   unroll-only sub-space is enumerated (and, small spaces, evaluated)
+   before any variation — ties in the selection then resolve toward the
+   design the vector-only sweep would pick. *)
+let toggle_combos (ctx : Design.context) : (bool * bool * bool) list =
+  let b = Design.base_config ctx [] in
+  let base = (b.Design.scalar_replace, b.Design.peel, b.Design.licm) in
+  let all =
+    List.concat_map
+      (fun sr ->
+        List.concat_map
+          (fun peel -> List.map (fun licm -> (sr, peel, licm)) [ true; false ])
+          [ true; false ])
+      [ true; false ]
+  in
+  base :: List.filter (fun t -> t <> base) all
+
+let sweep_joint ?eligible ?(max_product = max_int)
+    ?(tile_candidates = default_tile_candidates) ?(exhaustive_below = 64)
+    ?budget (ctx : Design.context) : joint =
+  let eligible =
+    match eligible with
+    | Some e -> e
+    | None ->
+        (Saturation.compute ~pipeline:ctx.Design.pipeline
+           ~num_memories:
+             ctx.Design.profile.Hls.Estimate.device.Hls.Device.num_memories
+           ctx.Design.source)
+          .Saturation.eligible
+  in
+  let vectors = divisor_vectors ~max_product ctx ~eligible in
+  let tiles = joint_tile_options ctx ~candidates:tile_candidates in
+  let toggles = toggle_combos ctx in
+  (* One flow graph of the source serves every legality verdict. *)
+  let graph = Analysis.Flowgraph.build ctx.Design.source in
+  let enumerated = ref 0 and ill = ref 0 and red = ref 0 in
+  let seen : (Design.config, unit) Hashtbl.t = Hashtbl.create 64 in
+  let survivors = ref [] in
+  List.iter
+    (fun (sr, peel, licm) ->
+      List.iter
+        (fun tile ->
+          List.iter
+            (fun vector ->
+              incr enumerated;
+              let c =
+                {
+                  Design.vector;
+                  tile;
+                  scalar_replace = sr;
+                  peel;
+                  licm;
+                }
+              in
+              match
+                Check.Legality.config_verdict ~graph ctx.Design.source c
+              with
+              | Check.Legality.Config_illegal _ -> incr ill
+              | Check.Legality.Config_redundant _ ->
+                  (* Its canonical spelling is elsewhere in the cube. *)
+                  incr red
+              | Check.Legality.Config_legal ->
+                  let key = Design.normalize_config ctx c in
+                  if Hashtbl.mem seen key then incr red
+                  else begin
+                    Hashtbl.replace seen key ();
+                    survivors := key :: !survivors
+                  end)
+            vectors)
+        tiles)
+    toggles;
+  let survivors = Array.of_list (List.rev !survivors) in
+  let n = Array.length survivors in
+  let bounds = Array.map (fun c -> Design.quick_config ctx c) survivors in
+  (* Below the threshold, evaluate every legal configuration in
+     enumeration order (ascending-bound visiting buys nothing a cache
+     this small cannot absorb, and the full point set is the oracle the
+     tests want). Above it, best-first: visit in ascending cycle lower
+     bound so the incumbent tightens immediately, and skip every
+     configuration whose bound already proves it cannot beat the
+     incumbent or fit the device — admissible, so the selection is the
+     one the exhaustive sweep would make. *)
+  let exhaustive = n <= exhaustive_below in
+  let order = Array.init n (fun i -> i) in
+  if not exhaustive then begin
+    let lb i =
+      match bounds.(i) with
+      | Some q -> q.Hls.Quick.cycles_lb
+      | None -> 0
+    in
+    Array.sort (fun a b -> compare (lb a, a) (lb b, b)) order
+  end;
+  let results : joint_point option array = Array.make n None in
+  let incumbent = ref max_int in
+  let bound_pruned = ref 0 and evaluated = ref 0 in
+  let truncated = ref false in
+  Array.iter
+    (fun i ->
+      let c = survivors.(i) in
+      let skip =
+        match bounds.(i) with
+        | None -> false
+        | Some q ->
+            q.Hls.Quick.slices_lb > ctx.Design.capacity
+            || ((not exhaustive) && q.Hls.Quick.cycles_lb > !incumbent)
+      in
+      if skip then begin
+        incr bound_pruned;
+        Design.note_pruned ctx
+      end
+      else
+        match budget with
+        | Some b when !evaluated >= b -> truncated := true
+        | _ ->
+            incr evaluated;
+            let p = Design.evaluate_config ctx c in
+            results.(i) <- Some { config = c; point = p };
+            if Design.space p <= ctx.Design.capacity then
+              incumbent := min !incumbent (Design.cycles p))
+    order;
+  let st = ctx.Design.stats in
+  st.Design.joint_configs <- st.Design.joint_configs + !enumerated;
+  st.Design.joint_pruned_illegal <- st.Design.joint_pruned_illegal + !ill;
+  st.Design.joint_pruned_redundant <- st.Design.joint_pruned_redundant + !red;
+  st.Design.joint_pruned_bound <- st.Design.joint_pruned_bound + !bound_pruned;
+  let total_designs =
+    List.fold_left
+      (fun acc (l : Ast.loop) ->
+        if List.mem l.index eligible then acc * Ast.loop_trip l else acc)
+      1 ctx.Design.spine
+    * List.length tiles * List.length toggles
+  in
+  {
+    points = List.filter_map (fun x -> x) (Array.to_list results);
+    space_size = !enumerated;
+    pruned_illegal = !ill;
+    pruned_redundant = !red;
+    pruned_bound = !bound_pruned;
+    truncated = !truncated;
+    total_designs;
+  }
+
+(** Best configuration of the joint space: fewest cycles among the
+    fitting points, ties to the smaller design, then to enumeration
+    order (which puts the unroll-only sub-space first). *)
+let joint_best (ctx : Design.context) (j : joint) : joint_point option =
+  List.fold_left
+    (fun best jp ->
+      if Design.space jp.point > ctx.Design.capacity then best
+      else
+        match best with
+        | None -> Some jp
+        | Some b ->
+            let c = Design.cycles jp.point and cb = Design.cycles b.point in
+            if c < cb || (c = cb && Design.space jp.point < Design.space b.point)
+            then Some jp
+            else best)
+    None j.points

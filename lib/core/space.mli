@@ -75,3 +75,64 @@ val smallest_comparable :
 
 (** Fraction of the paper-style space a search visited. *)
 val fraction_searched : t -> visited:int -> float
+
+(** {2 The joint configuration space}
+
+    Design points promoted from unroll vectors to full transform
+    configurations ({!Design.config}): unroll vector x tile option x
+    scalar-replacement/peel/LICM toggles, searched jointly. *)
+
+type joint_point = { config : Design.config; point : Design.point }
+
+type joint = {
+  points : joint_point list;
+      (** the evaluated configurations, in enumeration order *)
+  space_size : int;
+      (** joint lattice size before any pruning: unroll vectors x tile
+          options x toggle combinations *)
+  pruned_illegal : int;  (** dropped by the legality pre-pruner *)
+  pruned_redundant : int;
+      (** dropped as another spelling of a configuration already
+          enumerated (canonicalization + dedupe) *)
+  pruned_bound : int;  (** skipped on tier-1 lower bounds *)
+  truncated : bool;  (** the evaluation [budget] ran out *)
+  total_designs : int;
+      (** paper-style accounting over the joint space: all integer
+          unroll factors x tile options x toggles *)
+}
+
+(** [[4; 8; 16]] — the default tile-size requests of the joint sweep. *)
+val default_tile_candidates : int list
+
+(** The tile options the joint sweep enumerates over the context's spine
+    for the requested sizes: [None], plus each size clamped to the
+    divisor the strip-mine would use on every loop it properly splits. *)
+val joint_tile_options :
+  Design.context -> candidates:int list -> (string * int) option list
+
+(** Sweep the joint configuration space. Enumeration runs the full
+    product (counted in [space_size]); each configuration then passes
+    the legality pre-pruner ({!Check.Legality.config_verdict}, one
+    shared flow graph of the source — illegal and redundant
+    configurations are dropped before any transform runs) and canonical
+    dedupe. Below [exhaustive_below] surviving configurations (default
+    64) every survivor is evaluated in enumeration order; above it the
+    sweep turns best-first — ascending tier-1 cycle bounds, skipping
+    configurations whose bounds prove they cannot beat the incumbent or
+    fit the device (admissible: the selection matches the exhaustive
+    sweep's). [budget] caps the number of full evaluations ([truncated]
+    reports hitting it). Sequential; counters land in the context's
+    [joint_*] stats. *)
+val sweep_joint :
+  ?eligible:string list ->
+  ?max_product:int ->
+  ?tile_candidates:int list ->
+  ?exhaustive_below:int ->
+  ?budget:int ->
+  Design.context ->
+  joint
+
+(** Best configuration of the joint space: fewest cycles among the
+    fitting points, ties to the smaller design, then to enumeration
+    order (which puts the unroll-only sub-space first). *)
+val joint_best : Design.context -> joint -> joint_point option

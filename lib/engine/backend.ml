@@ -31,10 +31,13 @@ type env = {
   spine_divisors : (string * int list) list;
       (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;
-      (** base options (the vector is set per point) *)
-  quick_facts : Hls.Quick.facts option Lazy.t;
-      (** tier-1 pre-estimator facts; [None] when the pipeline tiles
-          (strip-mining adds loops the source skeleton cannot see) *)
+      (** base options (the searched knobs are set per point) *)
+  quick_facts : (string * int) option -> Hls.Quick.facts;
+      (** tier-1 pre-estimator facts per tile candidate, memoized and
+          mutex-protected (safe to share across sweep domains). The
+          facts for [Some (loop, tile)] are computed from the
+          strip-mined source, so the quick bounds stay admissible over
+          tiling design points *)
   verify : bool;
       (** translation-validate every uncached evaluation
           ({!Check.Validate}); selections are bit-identical, violations
@@ -51,6 +54,38 @@ let make_env ?(pipeline = Transform.Pipeline.default)
     ?(profile = Hls.Estimate.default_profile ()) ?(verify = false)
     ?(incremental = true) ?capacity (source : Ast.kernel) : env =
   let spine = Loop_nest.spine source.k_body in
+  let quick_facts =
+    (* One facts value per tile candidate, computed from the (possibly
+       strip-mined) source. The memo and its mutex live in this closure
+       and are shared by every fork of the owning context — OCaml 5
+       mutexes are domain-safe, and the critical section is one table
+       probe or one facts computation. *)
+    let memo : ((string * int) option, Hls.Quick.facts) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let lock = Mutex.create () in
+    fun (tile : (string * int) option) ->
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          match Hashtbl.find_opt memo tile with
+          | Some f -> f
+          | None ->
+              let k =
+                match tile with
+                | None -> source
+                | Some (index, t) -> (
+                    try Transform.Tiling.tile_for_registers ~index ~tile:t source
+                    with _ -> source)
+              in
+              let f =
+                Hls.Quick.facts ~device:profile.Hls.Estimate.device
+                  ~mem:profile.Hls.Estimate.mem k
+              in
+              Hashtbl.replace memo tile f;
+              f)
+  in
   {
     source;
     profile;
@@ -64,13 +99,7 @@ let make_env ?(pipeline = Transform.Pipeline.default)
         (fun (l : Ast.loop) -> (l.index, Util.divisors (Ast.loop_trip l)))
         spine;
     pipeline;
-    quick_facts =
-      lazy
-        (if pipeline.Transform.Pipeline.tile <> None then None
-         else
-           Some
-             (Hls.Quick.facts ~device:profile.Hls.Estimate.device
-                ~mem:profile.Hls.Estimate.mem source));
+    quick_facts;
     verify;
     incremental;
   }
@@ -93,25 +122,74 @@ let normalize_vector (env : env) (v : (string * int) list) :
       (l.index, d))
     env.spine env.spine_divisors
 
+(* ------------------------------------------------------------------ *)
+(* Configurations *)
+
+(** The env's base configuration at unroll vector [v]: tile and toggles
+    from the base pipeline options — the design point the pre-refactor
+    engine would have evaluated for [v]. *)
+let base_config (env : env) (v : (string * int) list) : Store.config =
+  { (Transform.Pipeline.config_of_options env.pipeline) with Store.vector = v }
+
+(** Normalise a configuration to its canonical cache key: the vector is
+    spine-normalized ({!normalize_vector}); a tile on a spine loop is
+    clamped exactly as the strip-mine clamps it (largest divisor of the
+    trip no greater than the request) and dropped when the clamp makes
+    it a no-op (tile of 1, or the whole trip); the unroll factor of a
+    tiled loop is forced to 1 (strip-mining renames the loop, so the
+    unroller would ignore the entry — two spellings of the same
+    design). A tile index naming no spine loop is kept verbatim:
+    synthesis of such a configuration fails loudly in the pipeline. *)
+let normalize_config (env : env) (c : Store.config) : Store.config =
+  let tile =
+    match c.Store.tile with
+    | None -> None
+    | Some (index, t) -> (
+        match
+          List.find_opt (fun (l : Ast.loop) -> l.index = index) env.spine
+        with
+        | None -> Some (index, t)
+        | Some l ->
+            let trip = Ast.loop_trip l in
+            let t = max 1 (min t trip) in
+            let divs =
+              Option.value ~default:[ 1 ]
+                (List.assoc_opt index env.spine_divisors)
+            in
+            let d =
+              List.fold_left (fun best d -> if d <= t then d else best) 1 divs
+            in
+            if d <= 1 || d >= trip then None else Some (index, d))
+  in
+  let vector = normalize_vector env c.Store.vector in
+  let vector =
+    match tile with
+    | Some (ti, _) ->
+        List.map (fun (i, u) -> if i = ti then (i, 1) else (i, u)) vector
+    | None -> vector
+  in
+  { c with Store.vector; tile }
+
 type t = {
   name : string;
       (** stable identifier; part of the persistent store key, so two
           backends never share cached points *)
-  bound : env -> Store.t -> (string * int) list -> Hls.Quick.t option;
-      (** admissible lower bounds for a point, or [None] when this
-          backend offers no tier-1 gate (then callers must synthesize) *)
-  synthesize : env -> Store.t -> (string * int) list -> Store.point;
-      (** full evaluation of one point, bypassing the point cache
-          (neither read nor written); bumps the store's counters *)
+  bound : env -> Store.t -> Store.config -> Hls.Quick.t option;
+      (** admissible lower bounds for a configuration, or [None] when
+          this backend offers no tier-1 gate (then callers must
+          synthesize) *)
+  synthesize : env -> Store.t -> Store.config -> Store.point;
+      (** full evaluation of one configuration, bypassing the point
+          cache (neither read nor written); bumps the store's counters *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Full behavioral synthesis *)
 
-let full_synthesize (env : env) (store : Store.t) (v : (string * int) list) :
+let full_synthesize (env : env) (store : Store.t) (c : Store.config) :
     Store.point =
-  let v = normalize_vector env v in
-  let opts = { env.pipeline with Transform.Pipeline.vector = v } in
+  let c = normalize_config env c in
+  let opts = Transform.Pipeline.apply_config ~base:env.pipeline c in
   let stats = store.Store.stats in
   let t0 = Util.now () in
   let r =
@@ -190,13 +268,14 @@ let full_synthesize (env : env) (store : Store.t) (v : (string * int) list) :
   stats.Store.region_memo_hits <-
     stats.Store.region_memo_hits + timers.Hls.Estimate.region_memo_hits;
   {
-    Store.vector = v;
+    Store.config = c;
+    vector = c.Store.vector;
     kernel = r.Transform.Pipeline.kernel;
     estimate;
     report = r.Transform.Pipeline.report;
   }
 
-let no_bound _env _store _v = None
+let no_bound _env _store _c = None
 
 let full : t = { name = "full"; bound = no_bound; synthesize = full_synthesize }
 
@@ -208,8 +287,8 @@ let lowlevel : t =
     name = "lowlevel";
     bound = no_bound;
     synthesize =
-      (fun env store v ->
-        let p = full_synthesize env store v in
+      (fun env store c ->
+        let p = full_synthesize env store c in
         let impl =
           Hls.Lowlevel.place_and_route
             ~device:env.profile.Hls.Estimate.device p.Store.estimate
@@ -231,14 +310,13 @@ let lowlevel : t =
 (* ------------------------------------------------------------------ *)
 (* Tiered composition *)
 
-let quick_bound (env : env) (store : Store.t) (v : (string * int) list) :
+let quick_bound (env : env) (store : Store.t) (c : Store.config) :
     Hls.Quick.t option =
-  match Lazy.force env.quick_facts with
-  | None -> None
-  | Some facts ->
-      store.Store.stats.Store.quick_estimates <-
-        store.Store.stats.Store.quick_estimates + 1;
-      Some (Hls.Quick.bound facts ~vector:(normalize_vector env v))
+  let c = normalize_config env c in
+  let facts = env.quick_facts c.Store.tile in
+  store.Store.stats.Store.quick_estimates <-
+    store.Store.stats.Store.quick_estimates + 1;
+  Some (Hls.Quick.bound facts ~vector:c.Store.vector)
 
 (** [quick_gate b] is [b] with the analytical pre-estimator as its
     tier-1 bound: the two-tier engine as backend composition. *)
@@ -268,12 +346,12 @@ let known_names = [ "full"; "quick+full"; "lowlevel"; "quick+lowlevel" ]
 (* ------------------------------------------------------------------ *)
 (* Cached evaluation *)
 
-(** Cached [Generate; Synthesize] through [store]: vectors are
+(** Cached [Generate; Synthesize] through [store]: configurations are
     normalized before the cache lookup, so any two spellings of the same
     design share one synthesis run. *)
-let evaluate (env : env) (b : t) (store : Store.t) (v : (string * int) list) :
+let evaluate_config (env : env) (b : t) (store : Store.t) (c : Store.config) :
     Store.point =
-  let key = normalize_vector env v in
+  let key = normalize_config env c in
   match Store.find store key with
   | Some p ->
       store.Store.stats.Store.cache_hits <-
@@ -283,3 +361,9 @@ let evaluate (env : env) (b : t) (store : Store.t) (v : (string * int) list) :
       let p = b.synthesize env store key in
       Store.add store key p;
       p
+
+(** {!evaluate_config} at the env's base configuration — the historical
+    vector-only entry point. *)
+let evaluate (env : env) (b : t) (store : Store.t) (v : (string * int) list) :
+    Store.point =
+  evaluate_config env b store (base_config env v)

@@ -13,9 +13,12 @@ type env = {
   spine_divisors : (string * int list) list;
       (** ascending divisors of each spine loop's trip count *)
   pipeline : Transform.Pipeline.options;
-      (** base options (the vector is set per point) *)
-  quick_facts : Hls.Quick.facts option Lazy.t;
-      (** tier-1 pre-estimator facts; [None] when the pipeline tiles *)
+      (** base options (the searched knobs are set per point) *)
+  quick_facts : (string * int) option -> Hls.Quick.facts;
+      (** tier-1 pre-estimator facts per tile candidate, memoized and
+          mutex-protected (safe to share across sweep domains); the
+          facts for [Some (loop, tile)] come from the strip-mined
+          source, keeping the quick bounds admissible under tiling *)
   verify : bool;
       (** translation-validate every uncached evaluation *)
   incremental : bool;
@@ -38,16 +41,29 @@ val make_env :
     counts — the space the search explores. *)
 val normalize_vector : env -> (string * int) list -> (string * int) list
 
+(** The env's base configuration at the given unroll vector: tile and
+    toggles taken from the base pipeline options. *)
+val base_config : env -> (string * int) list -> Store.config
+
+(** Canonical cache key for a configuration: the vector is
+    {!normalize_vector}d, a spine tile is clamped to the divisor the
+    strip-mine would use (and dropped when that makes it a no-op), and
+    the unroll factor of a tiled loop is forced to 1 (the strip-mine
+    renames the loop, so the unroller would ignore the entry). A tile
+    index naming no spine loop is kept verbatim — synthesizing such a
+    configuration fails loudly in the pipeline. *)
+val normalize_config : env -> Store.config -> Store.config
+
 type t = {
   name : string;
       (** stable identifier; part of the persistent store key, so two
           backends never share cached points *)
-  bound : env -> Store.t -> (string * int) list -> Hls.Quick.t option;
-      (** admissible lower bounds for a point, or [None] when this
-          backend offers no tier-1 gate *)
-  synthesize : env -> Store.t -> (string * int) list -> Store.point;
-      (** full evaluation of one point, bypassing the point cache
-          (neither read nor written); bumps the store's counters *)
+  bound : env -> Store.t -> Store.config -> Hls.Quick.t option;
+      (** admissible lower bounds for a configuration, or [None] when
+          this backend offers no tier-1 gate *)
+  synthesize : env -> Store.t -> Store.config -> Store.point;
+      (** full evaluation of one configuration, bypassing the point
+          cache (neither read nor written); bumps the store's counters *)
 }
 
 (** The paper's [Generate; Synthesize]: transform pipeline, DFG, fused
@@ -76,7 +92,11 @@ val of_string : string -> (t, string) result
 
 val known_names : string list
 
-(** Cached [Generate; Synthesize] through the store: vectors are
+(** Cached [Generate; Synthesize] through the store: configurations are
     normalized before the cache lookup, so any two spellings of the
     same design share one synthesis run. *)
+val evaluate_config : env -> t -> Store.t -> Store.config -> Store.point
+
+(** {!evaluate_config} at the env's base configuration — the historical
+    vector-only entry point. *)
 val evaluate : env -> t -> Store.t -> (string * int) list -> Store.point

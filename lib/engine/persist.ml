@@ -13,7 +13,7 @@
         <config-hash>/             one dir per estimation configuration
           CONFIG                   the full configuration string, plain text
           schedmemo.bin            fingerprint -> tri-schedule (kernel-agnostic)
-          points-<kernel-hash>.bin vector -> point, one file per kernel
+          points-<kernel-hash>.bin config -> point, one file per kernel
     v}
 
     {2 Invalidation}
@@ -37,8 +37,12 @@
 
 (* 2: the tri-schedule memo payload grew a second, region-level table
    (prefix fingerprint -> scheduler snapshot); v1 memo files no longer
+   unmarshal into it.
+   3: design points are keyed by full transform configurations
+   (vector + tile + toggles) instead of bare unroll vectors, and the
+   point record grew a [config] field; v2 point files no longer
    unmarshal into it. *)
-let schema_version = 2
+let schema_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Canonical configuration strings *)
@@ -168,7 +172,7 @@ let write_payload file ~config v =
 (* ------------------------------------------------------------------ *)
 (* Point caches *)
 
-type points_payload = ((string * int) list * Store.point) array
+type points_payload = (Store.config * Store.point) array
 
 (** Merge the kernel's persisted points into [store] (entries already in
     the store win). Returns how many points were loaded; also recorded

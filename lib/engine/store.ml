@@ -1,7 +1,7 @@
 (** The unified evaluation store: one value owning every piece of
     reusable evaluation state — the design-point cache keyed on the
-    normalized unroll vector, the content-addressed tri-schedule memo
-    keyed on {!Hls.Dfg.fingerprint}, and the evaluation counters.
+    normalized transform {!config}, the content-addressed tri-schedule
+    memo keyed on {!Hls.Dfg.fingerprint}, and the evaluation counters.
 
     Before the engine existed these three lived as separate fields of
     [Dse.Design.context] with per-call-site fork/absorb plumbing; the
@@ -19,8 +19,24 @@
 
 open Ir
 
-type point = {
+(** The design point's transform configuration — re-export of
+    {!Transform.Pipeline.config}, the cache key of the point table.
+    Since the joint-space refactor a design point is a full transform
+    configuration (unroll vector, tile, scalar-replace/peel/LICM
+    toggles), not just an unroll vector. *)
+type config = Transform.Pipeline.config = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+type point = {
+  config : config;  (** the normalized configuration this point is *)
+  vector : (string * int) list;
+      (** [config.vector], kept as a field for the many vector-only
+          call sites *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
@@ -61,6 +77,17 @@ type stats = {
   mutable flow_solves : int;  (** dataflow fixpoint solves run *)
   mutable flow_seconds : float;
       (** wall time building and solving flow graphs *)
+  mutable joint_configs : int;
+      (** configurations enumerated by joint sweeps (the joint space
+          size, pruned configurations included) *)
+  mutable joint_pruned_illegal : int;
+      (** joint configurations dropped by the legality pre-pruner
+          before any transform ran *)
+  mutable joint_pruned_redundant : int;
+      (** joint configurations dropped as duplicates of a canonical
+          configuration elsewhere in the space *)
+  mutable joint_pruned_bound : int;
+      (** joint configurations skipped on tier-1 lower bounds *)
 }
 
 let fresh_stats () =
@@ -82,6 +109,10 @@ let fresh_stats () =
     flow_builds = 0;
     flow_solves = 0;
     flow_seconds = 0.0;
+    joint_configs = 0;
+    joint_pruned_illegal = 0;
+    joint_pruned_redundant = 0;
+    joint_pruned_bound = 0;
   }
 
 let reset_stats (s : stats) =
@@ -101,7 +132,11 @@ let reset_stats (s : stats) =
   s.verify_violations <- 0;
   s.flow_builds <- 0;
   s.flow_solves <- 0;
-  s.flow_seconds <- 0.0
+  s.flow_seconds <- 0.0;
+  s.joint_configs <- 0;
+  s.joint_pruned_illegal <- 0;
+  s.joint_pruned_redundant <- 0;
+  s.joint_pruned_bound <- 0
 
 let stats_copy (s : stats) : stats =
   {
@@ -122,6 +157,10 @@ let stats_copy (s : stats) : stats =
     flow_builds = s.flow_builds;
     flow_solves = s.flow_solves;
     flow_seconds = s.flow_seconds;
+    joint_configs = s.joint_configs;
+    joint_pruned_illegal = s.joint_pruned_illegal;
+    joint_pruned_redundant = s.joint_pruned_redundant;
+    joint_pruned_bound = s.joint_pruned_bound;
   }
 
 (** Add [from]'s counters into [into] — the stats half of {!absorb}. *)
@@ -142,7 +181,13 @@ let stats_add ~(into : stats) (from : stats) =
   into.verify_violations <- into.verify_violations + from.verify_violations;
   into.flow_builds <- into.flow_builds + from.flow_builds;
   into.flow_solves <- into.flow_solves + from.flow_solves;
-  into.flow_seconds <- into.flow_seconds +. from.flow_seconds
+  into.flow_seconds <- into.flow_seconds +. from.flow_seconds;
+  into.joint_configs <- into.joint_configs + from.joint_configs;
+  into.joint_pruned_illegal <-
+    into.joint_pruned_illegal + from.joint_pruned_illegal;
+  into.joint_pruned_redundant <-
+    into.joint_pruned_redundant + from.joint_pruned_redundant;
+  into.joint_pruned_bound <- into.joint_pruned_bound + from.joint_pruned_bound
 
 let stats_diff ~(before : stats) ~(after : stats) : stats =
   {
@@ -163,11 +208,17 @@ let stats_diff ~(before : stats) ~(after : stats) : stats =
     flow_builds = after.flow_builds - before.flow_builds;
     flow_solves = after.flow_solves - before.flow_solves;
     flow_seconds = after.flow_seconds -. before.flow_seconds;
+    joint_configs = after.joint_configs - before.joint_configs;
+    joint_pruned_illegal =
+      after.joint_pruned_illegal - before.joint_pruned_illegal;
+    joint_pruned_redundant =
+      after.joint_pruned_redundant - before.joint_pruned_redundant;
+    joint_pruned_bound = after.joint_pruned_bound - before.joint_pruned_bound;
   }
 
 type t = {
-  points : ((string * int) list, point) Hashtbl.t;
-      (** evaluation memo, keyed on the normalized vector *)
+  points : (config, point) Hashtbl.t;
+      (** evaluation memo, keyed on the normalized configuration *)
   sched_memo : Hls.Schedule.memo;
       (** fingerprint-keyed tri-schedule table. In a multi-kernel
           session this table is physically shared between the kernels'

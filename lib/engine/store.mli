@@ -9,8 +9,23 @@
 
 open Ir
 
-type point = {
+(** The design point's transform configuration — re-export of
+    {!Transform.Pipeline.config} and the cache key of the point table.
+    Since the joint-space refactor a design point is a full transform
+    configuration (unroll vector, tile, scalar-replace/peel/LICM
+    toggles), not just an unroll vector. *)
+type config = Transform.Pipeline.config = {
   vector : (string * int) list;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+type point = {
+  config : config;  (** the normalized configuration this point is *)
+  vector : (string * int) list;
+      (** [config.vector], kept as a field for vector-only call sites *)
   kernel : Ast.kernel;  (** transformed code *)
   estimate : Hls.Estimate.t;
   report : Transform.Scalar_replace.report;
@@ -45,6 +60,16 @@ type stats = {
   mutable flow_solves : int;  (** dataflow fixpoint solves run *)
   mutable flow_seconds : float;
       (** wall time building and solving flow graphs *)
+  mutable joint_configs : int;
+      (** configurations enumerated by joint sweeps (the joint space
+          size, pruned configurations included) *)
+  mutable joint_pruned_illegal : int;
+      (** joint configurations dropped by the legality pre-pruner *)
+  mutable joint_pruned_redundant : int;
+      (** joint configurations dropped as duplicates of a canonical
+          configuration elsewhere in the space *)
+  mutable joint_pruned_bound : int;
+      (** joint configurations skipped on tier-1 lower bounds *)
 }
 
 val fresh_stats : unit -> stats
@@ -59,8 +84,8 @@ val stats_add : into:stats -> stats -> unit
 val stats_diff : before:stats -> after:stats -> stats
 
 type t = {
-  points : ((string * int) list, point) Hashtbl.t;
-      (** evaluation memo, keyed on the normalized vector *)
+  points : (config, point) Hashtbl.t;
+      (** evaluation memo, keyed on the normalized configuration *)
   sched_memo : Hls.Schedule.memo;
       (** fingerprint-keyed tri-schedule table; physically shared
           between the kernels of a session *)
@@ -79,11 +104,11 @@ type t = {
     another's). *)
 val create : ?sched_memo:Hls.Schedule.memo -> unit -> t
 
-val find : t -> (string * int) list -> point option
-val add : t -> (string * int) list -> point -> unit
+val find : t -> config -> point option
+val add : t -> config -> point -> unit
 val size : t -> int
 val sched_memo_size : t -> int
-val iter_points : t -> ((string * int) list -> point -> unit) -> unit
+val iter_points : t -> (config -> point -> unit) -> unit
 
 (** A private copy for one domain of a parallel sweep: snapshots both
     caches and starts fresh counters — no mutable state, counters

@@ -68,7 +68,9 @@ type facts = {
   mem : Memory_model.t;
   min_port_cycles : int;
       (** total memory-port occupancy cycles of the mandatory footprint *)
-  base_slices : int;  (** vector-independent area floor *)
+  struct_slices : int;
+      (** memory interface + FSM floor + operator floor (no registers) *)
+  scalar_bits : int;  (** register bits of the declared scalars *)
   ctl : ctl list;
 }
 
@@ -280,12 +282,15 @@ let facts ~(device : Device.t) ~(mem : Memory_model.t) (k : Ast.kernel) :
       (fun s (d : Ast.scalar_decl) -> s + Dtype.bits d.Ast.s_elem)
       0 k.Ast.k_scalars
   in
-  let reg_slices =
-    (scalar_bits + device.Device.ffs_per_slice - 1)
-    / device.Device.ffs_per_slice
-  in
-  let base_slices = 18 + 4 + reg_slices + op_floor k in
-  { device; mem; min_port_cycles; base_slices; ctl = ctl_of k.Ast.k_body }
+  let struct_slices = 18 + 4 + op_floor k in
+  {
+    device;
+    mem;
+    min_port_cycles;
+    struct_slices;
+    scalar_bits;
+    ctl = ctl_of k.Ast.k_body;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Bounds at a vector *)
@@ -322,11 +327,35 @@ let bound (f : facts) ~(vector : (string * int) list) : t =
     if mem_cycles_lb = 0 then Float.infinity
     else float_of_int comp_cycles_lb /. float_of_int mem_cycles_lb
   in
+  (* Register-pressure term: every live loop whose residual trip cannot
+     be peeled or folded away survives as a loop of the generated code,
+     and the estimator charges each surviving loop a 16-bit counter
+     register plus two FSM slices. The survival condition mirrors the
+     control slack above: [trip' - 1 - peel_slack >= 1] leaves at least
+     two iterations after every peel the pipeline can perform, so the
+     loop is never folded. Facts computed from a strip-mined source see
+     both the tile and the intra-tile loop here — the tile-aware part
+     of the area bound. *)
+  let rec surviving nodes =
+    List.fold_left
+      (fun n node ->
+        let u = factor node.index in
+        let trip' = (node.trip + u - 1) / u in
+        n
+        + (if node.live && trip' - 1 - peel_slack >= 1 then 1 else 0)
+        + surviving node.inner)
+      0 nodes
+  in
+  let loops = surviving f.ctl in
+  let reg_slices =
+    (f.scalar_bits + (16 * loops) + f.device.Device.ffs_per_slice - 1)
+    / f.device.Device.ffs_per_slice
+  in
   {
     cycles_lb = max comp_cycles_lb mem_cycles_lb;
     mem_cycles_lb;
     comp_cycles_lb;
-    slices_lb = f.base_slices;
+    slices_lb = f.struct_slices + reg_slices + (2 * loops);
     balance_trend;
   }
 

@@ -16,10 +16,17 @@
     structural area floor (memory interface, FSM, declared-scalar
     registers, one operator per data-dependent class).
 
-    Caveats, enforced by the callers in [Dse.Design]: the bounds assume
-    the default pipeline (no tiling — strip-mining introduces loops the
-    source skeleton does not know), and vectors are normalized to the
-    divisor lattice before {!bound} is consulted. *)
+    The bounds are admissible over the *joint* transform space, not
+    just the unroll lattice: the control and register-pressure terms
+    carry per-loop slack covering every peel the pipeline can perform,
+    hold whether or not peeling/LICM/scalar replacement run (disabling
+    a pass only adds cost), and a tiling design point is bounded by
+    computing {!facts} from the strip-mined source (the skeleton then
+    contains the tile and intra-tile loops; the footprint is a property
+    of the iteration space and does not change). The engine memoizes
+    one [facts] per tile candidate. Vectors are normalized to the
+    divisor lattice by the callers before {!bound} is consulted (a raw
+    vector still yields a valid, merely looser, bound). *)
 
 open Ir
 
@@ -34,9 +41,10 @@ type t = {
 }
 
 (** Per-kernel precomputation: the mandatory memory footprint (one
-    budget-bounded walk of the iteration space), the area floor and the
-    loop-control skeleton. Computed once; {!bound} then evaluates any
-    vector in time linear in the number of loops. *)
+    budget-bounded walk of the iteration space), the structural area
+    floor, the declared-scalar register bits and the loop-control
+    skeleton. Computed once per (kernel, tile) pair; {!bound} then
+    evaluates any vector in time linear in the number of loops. *)
 type facts
 
 val facts : device:Device.t -> mem:Memory_model.t -> Ast.kernel -> facts

@@ -25,6 +25,75 @@ let default =
     tile = None;
   }
 
+(* ------------------------------------------------------------------ *)
+(* First-class design-point configurations *)
+
+type config = {
+  vector : Unroll.vector;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+(** Whether a scalar-replacement configuration performs any replacement
+    at all — the boolean the joint design space toggles. *)
+let scalar_enabled (c : Scalar_replace.config) =
+  c.Scalar_replace.max_registers > 0
+
+(** The scalar-replacement configuration [apply_config] uses for a
+    design point with replacement off: register budget zero, no
+    cross-loop banks, no chains (the ablation driver's no-replace
+    setting). Every other knob of [base] is preserved so the off-state
+    is a function of the base options alone. *)
+let scalar_disabled (base : Scalar_replace.config) =
+  {
+    base with
+    Scalar_replace.across_loops = false;
+    chains = false;
+    max_registers = 0;
+  }
+
+(** Project the searchable knobs out of full pipeline options. *)
+let config_of_options (o : options) : config =
+  {
+    vector = o.vector;
+    tile = o.tile;
+    scalar_replace = scalar_enabled o.scalar;
+    peel = o.peel;
+    licm = o.licm;
+  }
+
+(** Concrete pipeline options for one design point: the config's knobs
+    over [base]'s non-searched parameters (the scalar-replacement
+    budget, chain span, ...). Inverse of {!config_of_options} on the
+    searched fields. *)
+let apply_config ~(base : options) (c : config) : options =
+  {
+    vector = c.vector;
+    scalar =
+      (if c.scalar_replace then
+         if scalar_enabled base.scalar then base.scalar
+         else Scalar_replace.default_config
+       else scalar_disabled base.scalar);
+    peel = c.peel;
+    licm = c.licm;
+    tile = c.tile;
+  }
+
+let pp_config fmt (c : config) =
+  Format.fprintf fmt "(%s%s | %s%s%s)"
+    (String.concat ", "
+       (List.map (fun (i, u) -> Printf.sprintf "%s=%d" i u) c.vector))
+    (match c.tile with
+    | None -> ""
+    | Some (l, t) -> Printf.sprintf " | tile %s:%d" l t)
+    (if c.scalar_replace then "sr+" else "sr-")
+    (if c.peel then " peel+" else " peel-")
+    (if c.licm then " licm+" else " licm-")
+
+let config_to_string (c : config) = Format.asprintf "%a" pp_config c
+
 type result = {
   kernel : Ast.kernel;
   report : Scalar_replace.report;
@@ -81,7 +150,28 @@ let apply ?observe ?delta (opts : options) (k : Ast.kernel) : result =
   let k =
     match opts.tile with
     | Some (index, tile) ->
-        stage Tile (Tiling.tile_for_registers ~index ~tile) k
+        stage Tile
+          (fun k ->
+            (* A tile index naming no loop at all is a configuration
+               error, not a silent no-op: the joint search relies on
+               illegal configurations failing loudly ([Stage_error]) so
+               its legality pruning is testable. A named loop the
+               strip-mine cannot split (trip <= tile, trip 1) is still a
+               no-op — the tile is then merely redundant. *)
+            let rec has_loop body =
+              List.exists
+                (function
+                  | Ast.For l ->
+                      l.Ast.index = index || has_loop l.Ast.body
+                  | Ast.If (_, t, e) -> has_loop t || has_loop e
+                  | Ast.Assign _ | Ast.Rotate _ -> false)
+                body
+            in
+            if not (has_loop k.Ast.k_body) then
+              failwith
+                (Printf.sprintf "tile index '%s' names no loop" index);
+            Tiling.tile_for_registers ~index ~tile k)
+          k
     | None -> k
   in
   let delta_reused = ref false in
@@ -107,7 +197,14 @@ let apply ?observe ?delta (opts : options) (k : Ast.kernel) : result =
   in
   let report = !report in
   let k =
-    if not opts.peel then k
+    if
+      (not opts.peel)
+      (* Nothing to peel: the stage would only replay the final
+         range-fold, so make the no-peel spelling bit-identical to
+         [peel = false] (the joint pruner canonicalizes on this). *)
+      || report.Scalar_replace.innermost_peels = 0
+         && report.Scalar_replace.carriers = []
+    then k
     else
       stage Peel
         (fun k ->

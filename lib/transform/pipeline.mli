@@ -18,6 +18,37 @@ type options = {
 
 val default : options
 
+(** A first-class design-point configuration: the searched knobs of the
+    joint transform space, one value per design point. [options] is the
+    full pipeline parameterization of a session (scalar-replacement
+    budget, chain span, ...); a [config] picks the per-point transform
+    decisions on top of it. *)
+type config = {
+  vector : Unroll.vector;  (** unroll factor per spine loop *)
+  tile : (string * int) option;  (** strip-mine this loop to this tile *)
+  scalar_replace : bool;
+  peel : bool;
+  licm : bool;
+}
+
+(** Whether a scalar-replacement configuration performs any replacement
+    ([max_registers > 0]) — the boolean the joint space toggles. *)
+val scalar_enabled : Scalar_replace.config -> bool
+
+(** Project the searched knobs out of full pipeline options. *)
+val config_of_options : options -> config
+
+(** Concrete options for one design point: the config's knobs over
+    [base]'s non-searched parameters. With replacement off the scalar
+    configuration is [base]'s with a zero register budget, no cross-loop
+    banks and no chains; with replacement on over a disabled base it is
+    {!Scalar_replace.default_config}. Inverse of {!config_of_options}
+    on the searched fields. *)
+val apply_config : base:options -> config -> options
+
+val pp_config : Format.formatter -> config -> unit
+val config_to_string : config -> string
+
 type result = {
   kernel : Ast.kernel;
   report : Scalar_replace.report;
@@ -29,7 +60,9 @@ type result = {
 }
 
 (** Pipeline stages in application order. [Tile] runs only when
-    [options.tile] is set, [Peel]/[Licm] only when enabled. *)
+    [options.tile] is set, [Peel]/[Licm] only when enabled. A tile index
+    naming no loop of the kernel raises {!Stage_error} (a named loop the
+    strip-mine cannot split is a silent no-op). *)
 type stage = Tile | Unroll_jam | Scalar_replace | Peel | Licm | Simplify
 
 val stage_name : stage -> string
